@@ -1,0 +1,61 @@
+// tnbfeed streams an IQ trace file to a tnbgateway server and prints the
+// decoded packet reports it returns.
+//
+// Usage:
+//
+//	tnbfeed -addr 127.0.0.1:7002 -sf 8 trace.iq
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tnb/internal/gateway"
+	"tnb/internal/lora"
+	"tnb/internal/trace"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7002", "gateway address")
+		sf   = flag.Int("sf", 8, "spreading factor of the trace")
+		bw   = flag.Float64("bw", 125e3, "bandwidth in Hz")
+		osf  = flag.Int("osf", 8, "over-sampling factor")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tnbfeed [flags] <trace.iq>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	params := lora.MustParams(*sf, 4, *bw, *osf)
+	tr, err := trace.ReadIQ16(f, params.SampleRate())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := gateway.Dial(*addr, gateway.Hello{SF: *sf, CR: 4, Bandwidth: *bw, OSF: *osf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Send(tr.Antennas[0]); err != nil {
+		log.Fatal(err)
+	}
+	reports, err := c.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("- gateway decoded %d pkts -\n", len(reports))
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range reports {
+		enc.Encode(r)
+	}
+}

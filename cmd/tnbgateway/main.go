@@ -1,0 +1,39 @@
+// tnbgateway runs the TnB receiver as a network service: clients connect
+// over TCP, send a JSON hello line with the radio parameters, stream raw
+// int16-interleaved IQ samples, and receive one JSON line per decoded
+// packet.
+//
+// Usage:
+//
+//	tnbgateway -listen :7002
+//
+// Feed it with cmd/tnbfeed, or from any SDR pipeline that can emit int16
+// IQ over TCP.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+
+	"tnb/internal/gateway"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7002", "TCP listen address")
+	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &gateway.Server{}
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+	if err := srv.ListenAndServe(ctx, *listen); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// tnbsim regenerates the paper's evaluation figures on synthetic traces.
+//
+// Usage:
+//
+//	tnbsim -fig 12 -sf 8 -duration 10        # throughput vs load, Indoor
+//	tnbsim -fig 15 -sf 10                    # component ablation
+//	tnbsim -fig 19 -sf 8                     # ETU channel comparison
+//
+// Figures: 10 (SNR CDF), 11 (medium usage), 12/13/14 (throughput per
+// deployment), 15 (ablation), 16 (BEC rescued codewords), 17 (PRR vs SNR),
+// 18 (collision levels), 19 (ETU). Fig. 20 lives in cmd/becprob.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tnb/internal/sim"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 12, "figure number to regenerate")
+		sf       = flag.Int("sf", 8, "spreading factor (8 or 10 in the paper)")
+		cr       = flag.Int("cr", 4, "coding rate for single-CR figures")
+		duration = flag.Float64("duration", 4, "seconds per run (paper: 30)")
+		runs     = flag.Int("runs", 1, "runs averaged per point (paper: 3)")
+		nodes    = flag.Int("nodes", 0, "override node count (0 = paper's)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	scale := sim.FigureScale{
+		DurationSec: *duration,
+		Runs:        *runs,
+		Loads:       []float64{5, 10, 15, 20, 25},
+		Nodes:       *nodes,
+	}
+	w := os.Stdout
+
+	switch *fig {
+	case 10:
+		for _, dep := range sim.Deployments {
+			cdf, err := sim.FigSNRCDF(dep, *sf, scale, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s (SF %d): estimated SNR CDF over %d decoded packets\n", dep.Name, *sf, cdf.Len())
+			vals, probs := cdf.Points(9)
+			for i := range vals {
+				fmt.Fprintf(w, "  %6.1f dB: %.2f\n", vals[i], probs[i])
+			}
+		}
+	case 11:
+		for _, sfv := range []int{8, 10} {
+			usage, err := sim.FigMediumUsage(sim.Indoor, sfv, scale, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "SF %d medium usage (packets on air, 250 ms bins, lower bound):\n  ", sfv)
+			for _, u := range usage {
+				fmt.Fprintf(w, "%d ", u)
+			}
+			fmt.Fprintln(w)
+		}
+	case 12, 13, 14:
+		dep := sim.Deployments[*fig-12]
+		schemes := []sim.Scheme{sim.SchemeTnB, sim.SchemeCIC, sim.SchemeAlignTrack, sim.SchemeLoRaPHY}
+		for _, crv := range []int{1, 2, 3, 4} {
+			fmt.Fprintf(w, "\n%s, SF %d, CR %d — throughput (pkt/s):\n", dep.Name, *sf, crv)
+			series, err := sim.FigThroughput(dep, *sf, crv, schemes, scale, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim.PrintThroughput(w, series)
+		}
+	case 15:
+		schemes := []sim.Scheme{sim.SchemeTnB, sim.SchemeThrive, sim.SchemeSibling, sim.SchemeCIC}
+		for _, dep := range sim.Deployments {
+			fmt.Fprintf(w, "\n%s, SF %d, CR %d — component ablation (pkt/s at highest load):\n", dep.Name, *sf, *cr)
+			hs := scale
+			hs.Loads = scale.Loads[len(scale.Loads)-1:]
+			series, err := sim.FigThroughput(dep, *sf, *cr, schemes, hs, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim.PrintThroughput(w, series)
+		}
+	case 16:
+		for _, dep := range sim.Deployments {
+			cdf, err := sim.FigRescuedCDF(dep, *sf, *cr, scale, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s: BEC-rescued codewords per decoded packet (n=%d)\n", dep.Name, cdf.Len())
+			for _, k := range []float64{0, 1, 2, 4, 8} {
+				fmt.Fprintf(w, "  P(rescued <= %.0f) = %.2f\n", k, cdf.At(k))
+			}
+		}
+	case 17:
+		for _, dep := range sim.Deployments {
+			buckets, err := sim.FigPRRvsSNR(dep, *sf, *cr, scale, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s (SF %d CR %d): PRR by SNR range\n", dep.Name, *sf, *cr)
+			for _, b := range buckets {
+				if b.Packets == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "  [%4.0f, %4.0f) dB: TnB %.2f  CIC %.2f  (n=%d)\n",
+					b.SNRLo, b.SNRHi, b.PRRTnB, b.PRRCIC, b.Packets)
+			}
+		}
+	case 18:
+		for _, sfv := range []int{8, 10} {
+			dist, err := sim.FigCollisionLevels(sim.Indoor, sfv, scale, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "SF %d collision levels of decoded packets (lower bound):\n", sfv)
+			sim.PrintDistribution(w, dist)
+		}
+	case 19:
+		schemes := []sim.Scheme{
+			sim.SchemeCIC, sim.SchemeCICBEC, sim.SchemeAlignTrack, sim.SchemeAlignTrackBEC,
+			sim.SchemeThrive, sim.SchemeTnB, sim.SchemeTnB2Ant,
+		}
+		es := scale
+		es.Loads = []float64{scaleLoad(*sf)}
+		for _, crv := range []int{1, 2, 3, 4} {
+			prr, err := sim.FigETU(*sf, crv, schemes, es, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "\nETU channel, SF %d, CR %d — PRR:\n", *sf, crv)
+			for _, s := range schemes {
+				fmt.Fprintf(w, "  %-14s %.2f\n", s, prr[s])
+			}
+		}
+	default:
+		log.Fatalf("figure %d not handled here (Fig. 20: cmd/becprob; Tables 1-2: go test -bench Table)", *fig)
+	}
+}
+
+// scaleLoad picks the ETU traffic load so the strongest scheme stays near
+// PRR 0.9, as in §8.5.
+func scaleLoad(sf int) float64 {
+	if sf == 10 {
+		return 3
+	}
+	return 6
+}

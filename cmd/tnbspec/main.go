@@ -1,0 +1,63 @@
+// tnbspec renders an ASCII spectrogram (waterfall) of a region of an IQ
+// trace file — the quickest way to eyeball chirps and collisions in a
+// capture.
+//
+// Usage:
+//
+//	tnbspec -start 0 -samples 300000 trace.iq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tnb/internal/diag"
+	"tnb/internal/trace"
+)
+
+func main() {
+	var (
+		start   = flag.Int("start", 0, "first sample of the region")
+		samples = flag.Int("samples", 1<<18, "number of samples to render")
+		fftSize = flag.Int("fft", 256, "FFT size (power of two)")
+		hop     = flag.Int("hop", 0, "hop between rows (0 = fft/2)")
+		width   = flag.Int("width", 96, "output width in characters")
+		rangeDB = flag.Float64("range", 40, "dynamic range in dB")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tnbspec [flags] <trace.iq>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadIQ16(f, 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tr.Antennas[0]
+	lo := *start
+	if lo < 0 || lo >= len(s) {
+		log.Fatalf("start %d outside trace of %d samples", lo, len(s))
+	}
+	hi := lo + *samples
+	if hi > len(s) {
+		hi = len(s)
+	}
+
+	sg, err := diag.Compute(s[lo:hi], *fftSize, *hop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("samples %d..%d, %d rows x %d bins (time runs down, frequency -fs/2..fs/2)\n",
+		lo, hi, len(sg.Rows), sg.FFTSize)
+	if err := sg.RenderASCII(os.Stdout, *width, *rangeDB); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// LoRaWAN: the full gateway story. Two nodes build encrypted, MIC-protected
+// LoRaWAN data frames, transmit them as colliding LoRa packets, TnB
+// resolves the collision at the PHY, and the MAC layer verifies and
+// decrypts the application payloads.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tnb"
+	"tnb/internal/lorawan"
+)
+
+type node struct {
+	addr    lorawan.DevAddr
+	nwkSKey []byte
+	appSKey []byte
+}
+
+func main() {
+	params := tnb.Params(8, 4)
+	sym := float64(params.SymbolSamples())
+
+	nodes := []node{
+		{addr: 0x26011001, nwkSKey: bytes.Repeat([]byte{0x11}, 16), appSKey: bytes.Repeat([]byte{0xA1}, 16)},
+		{addr: 0x26011002, nwkSKey: bytes.Repeat([]byte{0x22}, 16), appSKey: bytes.Repeat([]byte{0xA2}, 16)},
+	}
+	messages := []string{"temp=21.5C", "door=open!"}
+
+	// Each node marshals a LoRaWAN frame; the frame bytes become the LoRa
+	// PHY payload.
+	rng := rand.New(rand.NewSource(3))
+	builder := tnb.NewTraceBuilder(params, 1.2, 1, rng)
+	for i, n := range nodes {
+		frame := &lorawan.DataFrame{
+			MType:      lorawan.UnconfirmedDataUp,
+			DevAddr:    n.addr,
+			FCnt:       uint16(100 + i),
+			HasPort:    true,
+			FPort:      1,
+			FRMPayload: []byte(messages[i]),
+		}
+		wire, err := frame.Marshal(n.nwkSKey, n.appSKey)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := 20000.4 + float64(i)*10.5*sym // overlapping transmissions
+		if err := builder.AddPacket(i, i, wire, start, 12-3*float64(i), 2000-3500*float64(i), nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %s queued %d-byte frame (FCnt %d)\n", n.addr, len(wire), frame.FCnt)
+	}
+	trace, _ := builder.Build()
+
+	// Gateway side: TnB resolves the collision, then the MAC layer takes
+	// over.
+	rx := tnb.NewReceiver(tnb.ReceiverConfig{Params: params, UseBEC: true})
+	decoded := rx.Decode(trace)
+	fmt.Printf("\nTnB decoded %d PHY payload(s)\n", len(decoded))
+	for _, d := range decoded {
+		verified := false
+		for _, n := range nodes {
+			frame, err := lorawan.ParseDataFrame(d.Payload, n.nwkSKey, n.appSKey)
+			if err != nil {
+				continue // wrong node's keys → MIC fails; try the next
+			}
+			fmt.Printf("  DevAddr %s FCnt %d port %d: %q (MIC ok, SNR %.1f dB)\n",
+				frame.DevAddr, frame.FCnt, frame.FPort, frame.FRMPayload, d.SNRdB)
+			verified = true
+			break
+		}
+		if !verified {
+			fmt.Printf("  unverified payload %x\n", d.Payload)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tnb
+
+go 1.22

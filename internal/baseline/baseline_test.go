@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tnb/internal/lora"
+	"tnb/internal/trace"
+)
+
+type txSpec struct {
+	start, snr, cfo float64
+	payload         []uint8
+}
+
+func makeTrace(t *testing.T, seed int64, p lora.Params, dur float64, specs []txSpec) (*trace.Trace, []trace.TxRecord) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder(p, dur, 1, rng)
+	for i, s := range specs {
+		if err := b.AddPacket(i, i, s.payload, s.start, s.snr, s.cfo, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func payloadOf(i int) []uint8 {
+	p := make([]uint8, 14)
+	for j := range p {
+		p[j] = uint8(i*31 + j)
+	}
+	return p
+}
+
+func countDecoded(decoded []Decoded, recs []trace.TxRecord) int {
+	n := 0
+	for _, rec := range recs {
+		for _, d := range decoded {
+			if bytes.Equal(d.Payload, rec.Payload) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func TestLoRaPHYSinglePacket(t *testing.T) {
+	p := lora.MustParams(8, 4, 125e3, 8)
+	tr, recs := makeTrace(t, 300, p, 1.0, []txSpec{
+		{start: 20000.4, snr: 8, cfo: 1500, payload: payloadOf(1)},
+	})
+	l := NewLoRaPHY(Config{Params: p})
+	if got := countDecoded(l.Decode(tr), recs); got != 1 {
+		t.Errorf("LoRaPHY decoded %d/1 clean packets", got)
+	}
+}
+
+func TestLoRaPHYFailsOnHeavyCollision(t *testing.T) {
+	// Two equal-power packets heavily overlapped: the standard decoder
+	// should lose at least one (its per-symbol argmax mixes them).
+	p := lora.MustParams(8, 4, 125e3, 8)
+	sym := float64(p.SymbolSamples())
+	tr, recs := makeTrace(t, 301, p, 1.2, []txSpec{
+		{start: 20000.4, snr: 10, cfo: 1500, payload: payloadOf(1)},
+		{start: 20000.4 + 2.5*sym, snr: 10, cfo: -2500, payload: payloadOf(2)},
+	})
+	l := NewLoRaPHY(Config{Params: p})
+	if got := countDecoded(l.Decode(tr), recs); got >= 2 {
+		t.Errorf("LoRaPHY decoded %d/2 heavily collided equal-power packets; expected failure", got)
+	}
+}
+
+func TestCICSinglePacket(t *testing.T) {
+	p := lora.MustParams(8, 4, 125e3, 8)
+	tr, recs := makeTrace(t, 302, p, 1.0, []txSpec{
+		{start: 20000.4, snr: 8, cfo: 1500, payload: payloadOf(1)},
+	})
+	c := NewCIC(Config{Params: p})
+	if got := countDecoded(c.Decode(tr), recs); got != 1 {
+		t.Errorf("CIC decoded %d/1 clean packets", got)
+	}
+}
+
+func TestCICResolvesCollision(t *testing.T) {
+	p := lora.MustParams(8, 4, 125e3, 8)
+	sym := float64(p.SymbolSamples())
+	tr, recs := makeTrace(t, 303, p, 1.2, []txSpec{
+		{start: 20000.4, snr: 12, cfo: 1500, payload: payloadOf(1)},
+		{start: 20000.4 + 11.4*sym, snr: 9, cfo: -2500, payload: payloadOf(2)},
+	})
+	c := NewCIC(Config{Params: p})
+	if got := countDecoded(c.Decode(tr), recs); got < 1 {
+		t.Errorf("CIC decoded %d/2 collided packets", got)
+	}
+}
+
+func TestCICPlusBECAtLeastAsGood(t *testing.T) {
+	// CIC+ (with BEC) must decode at least as many packets as CIC across
+	// a few seeds (paper §8.5: "BEC can be combined with CIC and
+	// AlignTrack* and always improve the performance").
+	p := lora.MustParams(8, 3, 125e3, 8)
+	sym := float64(p.SymbolSamples())
+	tot, totBEC := 0, 0
+	for seed := int64(0); seed < 3; seed++ {
+		tr, recs := makeTrace(t, 310+seed, p, 1.4, []txSpec{
+			{start: 20000.4, snr: 8, cfo: 1500, payload: payloadOf(1)},
+			{start: 20000.4 + (9.4+2*float64(seed))*sym, snr: 4, cfo: -2500, payload: payloadOf(2)},
+		})
+		tot += countDecoded(NewCIC(Config{Params: p, Seed: seed}).Decode(tr), recs)
+		totBEC += countDecoded(NewCIC(Config{Params: p, UseBEC: true, Seed: seed}).Decode(tr), recs)
+	}
+	if totBEC < tot {
+		t.Errorf("CIC+ decoded %d vs CIC %d", totBEC, tot)
+	}
+}
+
+func TestCICSubWindowCuts(t *testing.T) {
+	// With one interferer offset by half a symbol, selectBin must still
+	// recover the true bins of a strong target.
+	p := lora.MustParams(8, 4, 125e3, 8)
+	sym := float64(p.SymbolSamples())
+	tr, recs := makeTrace(t, 304, p, 1.2, []txSpec{
+		{start: 20000, snr: 12, cfo: 0, payload: payloadOf(1)},
+		{start: 20000 + 9.5*sym, snr: 12, cfo: 0, payload: payloadOf(2)},
+	})
+	c := NewCIC(Config{Params: p})
+	pkts := c.detector.Detect(tr.Antennas)
+	if len(pkts) != 2 {
+		t.Fatalf("detected %d packets", len(pkts))
+	}
+	rec := recs[0]
+	dataStart := pkts[0].Start + (lora.PreambleUpchirps+lora.SyncSymbols+2.25)*sym
+	errs := 0
+	for k := 0; k < len(rec.Shifts); k++ {
+		bin := c.selectBin(tr.Antennas, pkts[0], pkts[1:], k, dataStart+float64(k)*sym)
+		if bin != rec.Shifts[k] {
+			errs++
+		}
+	}
+	if errs > len(rec.Shifts)/8 {
+		t.Errorf("CIC selectBin: %d/%d errors", errs, len(rec.Shifts))
+	}
+}
+
+func TestCircDist(t *testing.T) {
+	if circDist(0, 255, 256) != 1 || circDist(5, 5, 256) != 0 || circDist(0, 128, 256) != 128 {
+		t.Error("circDist broken")
+	}
+}
+
+func TestChoirSinglePacket(t *testing.T) {
+	p := lora.MustParams(8, 4, 125e3, 8)
+	tr, recs := makeTrace(t, 920, p, 1.0, []txSpec{
+		{start: 20000.4, snr: 10, cfo: 1500, payload: payloadOf(1)},
+	})
+	c := NewChoir(Config{Params: p})
+	if got := countDecoded(c.Decode(tr), recs); got != 1 {
+		t.Errorf("Choir decoded %d/1 clean packets", got)
+	}
+}
+
+func TestChoirDistinguishesByFractionalCFO(t *testing.T) {
+	// Two packets whose CFOs differ by a clearly fractional number of
+	// bins: Choir's fractional filter should separate them.
+	p := lora.MustParams(8, 4, 125e3, 8)
+	sym := float64(p.SymbolSamples())
+	// CFO difference of ~1221 Hz = 2.5 bins: fractional part 0.5.
+	tr, recs := makeTrace(t, 921, p, 1.2, []txSpec{
+		{start: 20000.0, snr: 10, cfo: 0, payload: payloadOf(1)},
+		{start: 20000.0 + 10.5*sym, snr: 10, cfo: 1221, payload: payloadOf(2)},
+	})
+	c := NewChoir(Config{Params: p})
+	got := countDecoded(c.Decode(tr), recs)
+	if got < 1 {
+		t.Errorf("Choir decoded %d/2", got)
+	}
+	t.Logf("Choir decoded %d/2 fractional-CFO-separated packets", got)
+}
+
+func TestChoirFractionalSelectionUnit(t *testing.T) {
+	// Direct unit check of selectBin: the true symbol peak (integer bin
+	// after CFO correction) must win over a stronger half-bin interloper.
+	p := lora.MustParams(8, 4, 125e3, 8)
+	rng := rand.New(rand.NewSource(922))
+	b := trace.NewBuilder(p, 0.5, 1, rng)
+	payload := payloadOf(3)
+	if err := b.AddPacket(0, 0, payload, 20000, 10, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr, recs := b.Build()
+	c := NewChoir(Config{Params: p})
+	pkts := c.detector.Detect(tr.Antennas)
+	if len(pkts) != 1 {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	sym := float64(p.SymbolSamples())
+	dataStart := pkts[0].Start + (lora.PreambleUpchirps+lora.SyncSymbols+2.25)*sym
+	errs := 0
+	for k := range recs[0].Shifts {
+		if c.selectBin(tr.Antennas, pkts[0], k, dataStart+float64(k)*sym) != recs[0].Shifts[k] {
+			errs++
+		}
+	}
+	if errs > 1 {
+		t.Errorf("Choir selectBin: %d symbol errors on a clean packet", errs)
+	}
+}

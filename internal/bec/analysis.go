@@ -1,0 +1,50 @@
+package bec
+
+import "math"
+
+// Analytical error model for CR 4 with three error columns (paper appendix
+// A.7), under the independence assumption: bits in the error columns flip
+// independently with probability 0.5.
+
+// Psi returns Ψ₁..Ψ_xMax: Ψx is the probability that exactly x distinct
+// error combinations (out of the 8 possible per-row patterns over 3 error
+// columns) occur across the SF rows of a block (Lemma 4's recursion):
+//
+//	Ψx = (x/8)^SF − Σ_{y<x} C(x,y)·Ψy
+func Psi(sf int, xMax int) []float64 {
+	psi := make([]float64, xMax+1)
+	for x := 1; x <= xMax; x++ {
+		v := math.Pow(float64(x)/8, float64(sf))
+		for y := 1; y < x; y++ {
+			v -= binom(x, y) * psi[y]
+		}
+		psi[x] = v
+	}
+	return psi
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// ErrorProbCR4ThreeColumns returns the analytical decoding error
+// probability of BEC for CR 4 with three error columns (Lemma 4):
+//
+//	Ψ₁ + 7Ψ₂ + 9Ψ₃ + 3Ψ₄ + 2^(−SF)
+func ErrorProbCR4ThreeColumns(sf int) float64 {
+	psi := Psi(sf, 4)
+	return psi[1] + 7*psi[2] + 9*psi[3] + 3*psi[4] + math.Pow(2, -float64(sf))
+}
+
+// ErrorProbCR3TwoColumns returns the analytical decoding error probability
+// of BEC for CR 3 with two error columns: 2^(−SF) (appendix A.5).
+func ErrorProbCR3TwoColumns(sf int) float64 {
+	return math.Pow(2, -float64(sf))
+}

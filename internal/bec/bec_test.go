@@ -1,0 +1,402 @@
+package bec
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnb/internal/lora"
+)
+
+// encodeBlock builds a valid block of random codewords at the given CR.
+func encodeBlock(rng *rand.Rand, rows, cr int) *lora.Block {
+	b := lora.NewBlock(rows, 4+cr)
+	for r := 0; r < rows; r++ {
+		b.SetRowCodeword(r, lora.HammingEncode(uint8(rng.Intn(16)), cr))
+	}
+	return b
+}
+
+// corruptColumns flips random bits in the chosen 1-based columns: every
+// column gets at least one flipped bit (it is a true error column), and
+// each row/column bit flips with probability 1/2.
+func corruptColumns(rng *rand.Rand, b *lora.Block, cols []int) *lora.Block {
+	out := b.Clone()
+	for _, k := range cols {
+		flipped := false
+		for r := 0; r < out.Rows; r++ {
+			if rng.Intn(2) == 1 {
+				out.Bits[r][k-1] ^= 1
+				flipped = true
+			}
+		}
+		if !flipped {
+			r := rng.Intn(out.Rows)
+			out.Bits[r][k-1] ^= 1
+		}
+	}
+	return out
+}
+
+// containsBlock reports whether want appears among the candidates.
+func containsBlock(cands []*lora.Block, want *lora.Block) bool {
+	for _, c := range cands {
+		if c.Equal(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// pickCols selects n distinct 1-based columns of a width-cols block.
+func pickCols(rng *rand.Rand, cols, n int) []int {
+	perm := rng.Perm(cols)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = perm[i] + 1
+	}
+	return out
+}
+
+func TestCompanionsCR2Pairs(t *testing.T) {
+	// Appendix A.1: CR 2 companion pairs are (c1,c5), (c2,c3), (c4,c6).
+	pairs := map[int]int{1: 5, 2: 3, 4: 6}
+	for a, b := range pairs {
+		got := Companions(Col(a), 2)
+		if len(got) != 1 || got[0] != Col(b) {
+			t.Errorf("companion of c%d: %v, want c%d", a, got, b)
+		}
+		back := Companions(Col(b), 2)
+		if len(back) != 1 || back[0] != Col(a) {
+			t.Errorf("companion of c%d: %v, want c%d", b, back, a)
+		}
+	}
+}
+
+func TestCompanionCR3PairUnique(t *testing.T) {
+	// §6.1: companion of {c2,c7} is {c3} for CR 3.
+	got := Companions(Col(2)|Col(7), 3)
+	if len(got) != 1 || got[0] != Col(3) {
+		t.Errorf("companion of {c2,c7} = %v, want {c3}", got)
+	}
+	// Uniqueness for all pairs (appendix A.1).
+	for a := 1; a <= 7; a++ {
+		for b := a + 1; b <= 7; b++ {
+			cs := Companions(Col(a)|Col(b), 3)
+			if len(cs) != 1 || cs[0].Size() != 1 {
+				t.Errorf("CR3 companion of {c%d,c%d} not a unique column: %v", a, b, cs)
+			}
+		}
+	}
+}
+
+func TestCompanionGroupCR4(t *testing.T) {
+	// Appendix A.1: companions of {c1,c2} are {c6,c8}, {c3,c5}, {c4,c7}.
+	got := Companions(Col(1)|Col(2), 4)
+	want := map[ColSet]bool{Col(6) | Col(8): true, Col(3) | Col(5): true, Col(4) | Col(7): true}
+	if len(got) != 3 {
+		t.Fatalf("%d companions of {c1,c2}", len(got))
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Errorf("unexpected companion %v", c.Columns())
+		}
+	}
+	// Every CR4 pair has exactly 3 companions; every triple exactly 1.
+	for a := 1; a <= 8; a++ {
+		for b := a + 1; b <= 8; b++ {
+			if n := len(Companions(Col(a)|Col(b), 4)); n != 3 {
+				t.Errorf("pair {c%d,c%d}: %d companions", a, b, n)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 30; trial++ {
+		cols := pickCols(rng, 8, 3)
+		pi := Col(cols[0]) | Col(cols[1]) | Col(cols[2])
+		cs := Companions(pi, 4)
+		if len(cs) != 1 || cs[0].Size() != 1 {
+			t.Errorf("triple %v: companions %v", cols, cs)
+		}
+	}
+}
+
+func TestColSetBasics(t *testing.T) {
+	s := Col(1) | Col(8)
+	if !s.Has(1) || !s.Has(8) || s.Has(4) {
+		t.Error("Has failed")
+	}
+	if s.Size() != 2 {
+		t.Errorf("Size = %d", s.Size())
+	}
+	cols := s.Columns()
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 8 {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestDecodePaperExampleFig7(t *testing.T) {
+	// Reconstruct the structure of Fig. 2/7: SF 8, CR 3, true error
+	// columns 2 and 7, with one row (row 7) having errors in both, which
+	// the default decoder mis-corrects via companion column 3. BEC must
+	// include the true block among its candidates.
+	rng := rand.New(rand.NewSource(51))
+	truth := encodeBlock(rng, 8, 3)
+	R := truth.Clone()
+	// Rows 2..6, 8 (1-indexed): single error in column 2 or 7.
+	for _, rc := range []struct{ row, col int }{
+		{1, 1}, // unusued marker to keep 0-indexed mapping clear below
+	} {
+		_ = rc
+	}
+	R.Bits[1][1] ^= 1 // row 2, col 2
+	R.Bits[2][6] ^= 1 // row 3, col 7
+	R.Bits[3][1] ^= 1
+	R.Bits[4][6] ^= 1
+	R.Bits[5][1] ^= 1
+	R.Bits[7][6] ^= 1
+	// Row 7: errors in both columns 2 and 7.
+	R.Bits[6][1] ^= 1
+	R.Bits[6][6] ^= 1
+
+	res := DecodeBlock(R, 3)
+	if res.Failed {
+		t.Fatal("BEC failed on the paper's example structure")
+	}
+	if res.NoError {
+		t.Fatal("BEC wrongly concluded no error")
+	}
+	if !containsBlock(res.Candidates, truth) {
+		t.Fatal("true block not among BEC candidates")
+	}
+	if len(res.Candidates) > 3 {
+		t.Errorf("%d candidates for CR3 2-column errors, want <= 3", len(res.Candidates))
+	}
+}
+
+func TestDecodeNoErrorAllCRs(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for cr := 1; cr <= 4; cr++ {
+		b := encodeBlock(rng, 8, cr)
+		res := DecodeBlock(b, cr)
+		if !res.NoError || res.Failed {
+			t.Errorf("CR%d: clean block not recognized (noerr=%v failed=%v)", cr, res.NoError, res.Failed)
+		}
+		if len(res.Candidates) != 1 || !res.Candidates[0].Equal(b) {
+			t.Errorf("CR%d: clean block candidates wrong", cr)
+		}
+	}
+}
+
+// Table 1 row: CR 1 corrects 1-symbol (1-column) errors.
+func TestCR1CorrectsOneColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		truth := encodeBlock(rng, 8, 1)
+		col := 1 + rng.Intn(5)
+		R := corruptColumns(rng, truth, []int{col})
+		res := DecodeBlock(R, 1)
+		if res.Failed {
+			t.Fatalf("trial %d: CR1 failed on 1-column error", trial)
+		}
+		if !containsBlock(res.Candidates, truth) {
+			t.Fatalf("trial %d: truth not among CR1 candidates (col %d)", trial, col)
+		}
+		if len(res.Candidates) > 5 {
+			t.Fatalf("trial %d: %d candidates, want <= 5", trial, len(res.Candidates))
+		}
+	}
+}
+
+// Table 1 row: CR 2 corrects 1-symbol errors.
+func TestCR2CorrectsOneColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 200; trial++ {
+		truth := encodeBlock(rng, 8, 2)
+		col := 1 + rng.Intn(6)
+		R := corruptColumns(rng, truth, []int{col})
+		res := DecodeBlock(R, 2)
+		if res.Failed {
+			t.Fatalf("trial %d: CR2 failed on 1-column error (col %d)", trial, col)
+		}
+		if !containsBlock(res.Candidates, truth) {
+			t.Fatalf("trial %d: truth not among CR2 candidates (col %d)", trial, col)
+		}
+	}
+}
+
+// Table 1 row: CR 3 corrects 1-column errors (via the default decoder) and
+// almost all 2-column errors.
+func TestCR3CorrectsOneColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		truth := encodeBlock(rng, 8, 3)
+		R := corruptColumns(rng, truth, []int{1 + rng.Intn(7)})
+		res := DecodeBlock(R, 3)
+		if res.Failed || !containsBlock(res.Candidates, truth) {
+			t.Fatalf("trial %d: CR3 1-column error not corrected", trial)
+		}
+	}
+}
+
+func TestCR3CorrectsTwoColumnsAlmostAlways(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	trials, failures := 2000, 0
+	for trial := 0; trial < trials; trial++ {
+		truth := encodeBlock(rng, 8, 3)
+		cols := pickCols(rng, 7, 2)
+		R := corruptColumns(rng, truth, cols)
+		res := DecodeBlock(R, 3)
+		if res.Failed || !containsBlock(res.Candidates, truth) {
+			failures++
+		}
+	}
+	// Analysis (A.5): error probability ≈ 2^-SF = 1/256 ≈ 0.4%. Allow
+	// slack for the at-least-one-flip conditioning.
+	if rate := float64(failures) / float64(trials); rate > 0.03 {
+		t.Errorf("CR3 2-column failure rate %.3f, want < 0.03", rate)
+	}
+}
+
+// Table 1 row: CR 4 corrects all 1- and 2-column errors.
+func TestCR4CorrectsOneAndTwoColumnsAlways(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 1500; trial++ {
+		truth := encodeBlock(rng, 8, 4)
+		n := 1 + trial%2
+		cols := pickCols(rng, 8, n)
+		R := corruptColumns(rng, truth, cols)
+		res := DecodeBlock(R, 4)
+		if res.Failed || !containsBlock(res.Candidates, truth) {
+			t.Fatalf("trial %d: CR4 %d-column error not corrected (cols %v)", trial, n, cols)
+		}
+	}
+}
+
+// Table 1 row: CR 4 corrects over 96%% of 3-column errors.
+func TestCR4CorrectsThreeColumnsUsually(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	trials, failures := 3000, 0
+	for trial := 0; trial < trials; trial++ {
+		truth := encodeBlock(rng, 8, 4)
+		cols := pickCols(rng, 8, 3)
+		R := corruptColumns(rng, truth, cols)
+		res := DecodeBlock(R, 4)
+		if res.Failed || !containsBlock(res.Candidates, truth) {
+			failures++
+		}
+	}
+	rate := float64(failures) / float64(trials)
+	// Paper: > 96% corrected at SF 7; error decreases with SF. At SF 8
+	// the analysis gives ≈ 2%.
+	if rate > 0.05 {
+		t.Errorf("CR4 3-column failure rate %.3f, want < 0.05", rate)
+	}
+}
+
+func TestCR4CandidateBudgetMatchesTable2(t *testing.T) {
+	// Table 2: CR 4 produces ≤ 4 BEC-fixed blocks for both 2- and
+	// 3-column errors.
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 800; trial++ {
+		truth := encodeBlock(rng, 10, 4)
+		n := 2 + trial%2
+		cols := pickCols(rng, 8, n)
+		R := corruptColumns(rng, truth, cols)
+		res := DecodeBlock(R, 4)
+		if res.Failed {
+			continue
+		}
+		if len(res.Candidates) > 4 {
+			t.Fatalf("trial %d: %d candidates for %d-column CR4 errors", trial, len(res.Candidates), n)
+		}
+	}
+}
+
+func TestCR3CandidateBudgetMatchesTable2(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 500; trial++ {
+		truth := encodeBlock(rng, 8, 3)
+		cols := pickCols(rng, 7, 2)
+		R := corruptColumns(rng, truth, cols)
+		res := DecodeBlock(R, 3)
+		if res.Failed {
+			continue
+		}
+		if len(res.Candidates) > 3 {
+			t.Fatalf("trial %d: %d candidates for CR3 2-column errors", trial, len(res.Candidates))
+		}
+	}
+}
+
+func TestBECBeatsDefaultDecoder(t *testing.T) {
+	// The headline claim: on 2-column CR3 errors with at least one row
+	// corrupted in both columns, the default decoder produces a wrong
+	// block while BEC's candidate set contains the truth.
+	rng := rand.New(rand.NewSource(61))
+	becWins := 0
+	trials := 0
+	for trials < 300 {
+		truth := encodeBlock(rng, 8, 3)
+		cols := pickCols(rng, 7, 2)
+		R := corruptColumns(rng, truth, cols)
+		gamma := lora.CleanBlock(R, 3)
+		if gamma.Equal(truth) {
+			continue // default decoder got lucky; not the interesting case
+		}
+		trials++
+		res := DecodeBlock(R, 3)
+		if !res.Failed && containsBlock(res.Candidates, truth) {
+			becWins++
+		}
+	}
+	if rate := float64(becWins) / float64(trials); rate < 0.95 {
+		t.Errorf("BEC rescued only %.2f of default-decoder failures", rate)
+	}
+}
+
+func TestDecodeBlockBadCR(t *testing.T) {
+	b := lora.NewBlock(8, 8)
+	if res := DecodeBlock(b, 0); !res.Failed {
+		t.Error("CR 0 should fail")
+	}
+	if res := DecodeBlock(b, 5); !res.Failed {
+		t.Error("CR 5 should fail")
+	}
+}
+
+func TestAllCandidatesAreValidCodewordBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	valid := func(b *lora.Block, cr int) bool {
+		for r := 0; r < b.Rows; r++ {
+			row := b.RowCodeword(r)
+			match := false
+			for d := 0; d < 16; d++ {
+				if lora.HammingEncode(uint8(d), cr) == row {
+					match = true
+					break
+				}
+			}
+			if !match {
+				return false
+			}
+		}
+		return true
+	}
+	for cr := 1; cr <= 4; cr++ {
+		for trial := 0; trial < 200; trial++ {
+			truth := encodeBlock(rng, 8, cr)
+			n := 1 + rng.Intn(3)
+			maxN := map[int]int{1: 1, 2: 1, 3: 2, 4: 3}[cr]
+			if n > maxN {
+				n = maxN
+			}
+			R := corruptColumns(rng, truth, pickCols(rng, 4+cr, n))
+			res := DecodeBlock(R, cr)
+			for ci, c := range res.Candidates {
+				if !valid(c, cr) {
+					t.Fatalf("CR%d trial %d: candidate %d has invalid rows", cr, trial, ci)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package bec implements Block Error Correction (paper §6 and appendix A):
+// joint decoding of the LoRa (8,4) Hamming code over whole code blocks.
+// A corrupted symbol corrupts one column of a block, so errors are column-
+// correlated; BEC compares the received block R with the default-decoder
+// cleaned block Γ, reasons about the true error columns and their
+// "companions" (column sets that complete a codeword), produces a small set
+// of BEC-fixed candidate blocks, and lets the packet-level CRC pick the
+// right one.
+package bec
+
+import (
+	"math/bits"
+
+	"tnb/internal/lora"
+)
+
+// ColSet is a set of block columns packed like the codeword representation:
+// column k (1-based) is bit 8-k, so column 1 is the MSB. Only the first
+// 4+CR bits are ever used.
+type ColSet uint8
+
+// Col returns the singleton set for 1-based column k.
+func Col(k int) ColSet { return 1 << uint(8-k) }
+
+// Has reports whether 1-based column k is in the set.
+func (s ColSet) Has(k int) bool { return s&Col(k) != 0 }
+
+// Size returns the number of columns in the set.
+func (s ColSet) Size() int { return bits.OnesCount8(uint8(s)) }
+
+// Columns lists the 1-based column indices in the set, ascending.
+func (s ColSet) Columns() []int {
+	var out []int
+	for k := 1; k <= 8; k++ {
+		if s.Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// codewords returns the 16 punctured codewords of the coding rate as
+// left-aligned bit patterns. For cr 1 the checksum construction is used.
+func codewords(cr int) [16]uint8 {
+	var cw [16]uint8
+	for d := 0; d < 16; d++ {
+		cw[d] = lora.HammingEncode(uint8(d), cr)
+	}
+	return cw
+}
+
+// Companions returns every companion of the column set pi at the given
+// coding rate: the sets pi' disjoint from pi with V(pi ∪ pi') a
+// minimum-weight codeword, so that |pi| + |pi'| = CR (paper §6.2: "Clearly,
+// |Π| + |Π'| = CR"). For CR 3 with |pi| = 2 the companion is a single
+// column; for CR 4 with |pi| = 2 there are three two-column companions (the
+// companion group, appendix A.1).
+func Companions(pi ColSet, cr int) []ColSet {
+	width := uint8(0xFF) << uint(8-(4+cr))
+	var out []ColSet
+	for _, w := range codewords(cr) {
+		w &= width
+		if bits.OnesCount8(w) != cr {
+			continue
+		}
+		// V(pi ∪ pi') == w requires w ⊇ pi, with pi' = w \ pi.
+		if uint8(pi)&^w != 0 {
+			continue
+		}
+		c := ColSet(w &^ uint8(pi))
+		if c == 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// CompanionOf returns the unique companion of pi, panicking if it is not
+// unique — callers use it only where the paper proves uniqueness (CR 2
+// single columns, CR 3 pairs, CR 4 triples).
+func CompanionOf(pi ColSet, cr int) ColSet {
+	cs := Companions(pi, cr)
+	if len(cs) != 1 {
+		panic("bec: companion not unique")
+	}
+	return cs[0]
+}

@@ -1,0 +1,316 @@
+package bec
+
+import (
+	"math/bits"
+
+	"tnb/internal/lora"
+)
+
+// Result is the outcome of BEC block decoding.
+type Result struct {
+	// Candidates holds the BEC-fixed blocks. Every row of every candidate
+	// is a valid codeword. When NoError is true there is exactly one
+	// candidate: the cleaned block, trusted without packet-level checks.
+	Candidates []*lora.Block
+	// NoError reports that BEC concluded the default decoder suffices
+	// (R == Γ, or all differences in a single column for CR ≥ 3).
+	NoError bool
+	// Failed reports that the error pattern exceeded BEC's capability.
+	Failed bool
+}
+
+// diffStats compares R and Γ: phi[i] lists the rows differing in i bits and
+// xi is Ξ, the set of columns where single-difference rows differ.
+func diffStats(R, gamma *lora.Block) (phi [9][]int, xi ColSet, diffCols ColSet) {
+	for r := 0; r < R.Rows; r++ {
+		d := (R.RowCodeword(r) ^ gamma.RowCodeword(r)) & colWidth(R.Cols)
+		n := bits.OnesCount8(d)
+		phi[n] = append(phi[n], r)
+		diffCols |= ColSet(d)
+		if n == 1 {
+			xi |= ColSet(d)
+		}
+	}
+	return phi, xi, diffCols
+}
+
+func colWidth(cols int) uint8 { return 0xFF << uint(8-cols) }
+
+// rowDiffCols returns the columns where R and Γ differ in row r.
+func rowDiffCols(R, gamma *lora.Block, r int) ColSet {
+	return ColSet((R.RowCodeword(r) ^ gamma.RowCodeword(r)) & colWidth(R.Cols))
+}
+
+// DecodeBlock runs the BEC decoder for one received block at the given
+// coding rate (paper §6.4–§6.7) and returns the candidate BEC-fixed blocks.
+func DecodeBlock(R *lora.Block, cr int) Result {
+	switch cr {
+	case 1:
+		return decodeCR1(R)
+	case 2:
+		return decodeCR2(R)
+	case 3:
+		return decodeCR3(R)
+	case 4:
+		return decodeCR4(R)
+	default:
+		return Result{Failed: true}
+	}
+}
+
+// decodeCR1 (§6.4): if the checksum passes in every row, assume no error;
+// otherwise repair with each of the 5 columns via Δ'.
+func decodeCR1(R *lora.Block) Result {
+	allPass := true
+	for r := 0; r < R.Rows; r++ {
+		row := R.RowCodeword(r)
+		var parity uint8
+		for c := 1; c <= 5; c++ {
+			parity ^= row >> uint(8-c) & 1
+		}
+		if parity != 0 {
+			allPass = false
+			break
+		}
+	}
+	if allPass {
+		return Result{Candidates: []*lora.Block{R.Clone()}, NoError: true}
+	}
+	res := Result{}
+	for k := 1; k <= 5; k++ {
+		res.Candidates = append(res.Candidates, RepairChecksum(R, k))
+	}
+	return res
+}
+
+// decodeCR2 (§6.5): correct up to one error column.
+func decodeCR2(R *lora.Block) Result {
+	gamma := lora.CleanBlock(R, 2)
+	_, xi, _ := diffStats(R, gamma)
+	switch {
+	case xi.Size() == 0:
+		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
+	case xi.Size() >= 3:
+		return Result{Failed: true}
+	case xi.Size() == 1:
+		xi |= CompanionOf(xi, 2)
+	}
+	var res Result
+	for _, k := range xi.Columns() {
+		if fixed := RepairMask(R, Col(k), 2); fixed != nil {
+			res.Candidates = append(res.Candidates, fixed)
+		}
+	}
+	res.Failed = len(res.Candidates) == 0
+	return res
+}
+
+// decodeCR3 (§6.6): one error column is handled by the default decoder;
+// two error columns via companion-expanded Δ1.
+func decodeCR3(R *lora.Block) Result {
+	gamma := lora.CleanBlock(R, 3)
+	_, xi, _ := diffStats(R, gamma)
+	switch {
+	case xi.Size() == 0:
+		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
+	case xi.Size() == 1:
+		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
+	case xi.Size() >= 4:
+		return Result{Failed: true}
+	case xi.Size() == 2:
+		xi |= CompanionOf(xi, 3)
+	}
+	var res Result
+	cols := xi.Columns()
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			if fixed := RepairMask(R, Col(cols[i])|Col(cols[j]), 3); fixed != nil {
+				res.Candidates = append(res.Candidates, fixed)
+			}
+		}
+	}
+	res.Failed = len(res.Candidates) == 0
+	return res
+}
+
+// decodeCR4 (§6.7): attempt 2-column errors, then 3-column errors.
+func decodeCR4(R *lora.Block) Result {
+	gamma := lora.CleanBlock(R, 4)
+	phi, xi, diffCols := diffStats(R, gamma)
+
+	identical := len(phi[0]) == R.Rows
+	if identical || diffCols.Size() <= 1 {
+		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
+	}
+
+	if xi.Size() <= 2 {
+		if res, ok := decodeCR4TwoColumns(R, gamma, phi, xi); ok {
+			return res
+		}
+	}
+	if xi.Size() >= 1 && xi.Size() <= 4 {
+		if res, ok := decodeCR4ThreeColumns(R, gamma, phi, xi); ok {
+			return res
+		}
+	}
+	return Result{Failed: true}
+}
+
+// decodeCR4TwoColumns handles the 2-error-column hypothesis (§6.7.1).
+func decodeCR4TwoColumns(R, gamma *lora.Block, phi [9][]int, xi ColSet) (Result, bool) {
+	var res Result
+	switch xi.Size() {
+	case 0:
+		// Very rare: every difference row has two bits. All phi2 rows must
+		// yield the same companion group of pairs; Δ3 each pair.
+		if len(phi[2]) == 0 {
+			return Result{}, false
+		}
+		group := companionGroup(rowDiffCols(R, gamma, phi[2][0]))
+		if group == nil {
+			return Result{}, false
+		}
+		for _, r := range phi[2][1:] {
+			g2 := companionGroup(rowDiffCols(R, gamma, r))
+			if !sameGroup(group, g2) {
+				return Result{}, false
+			}
+		}
+		for _, pair := range group {
+			cols := pair.Columns()
+			if fixed := RepairFlipTwo(R, gamma, phi[2], cols[0], cols[1], 4); fixed != nil {
+				res.Candidates = append(res.Candidates, fixed)
+			}
+		}
+	case 1:
+		k := xi.Columns()[0]
+		if fixed, _ := RepairFlipOne(R, gamma, phi[2], k, 4); fixed != nil {
+			res.Candidates = append(res.Candidates, fixed)
+		}
+	case 2:
+		if fixed := RepairMask(R, xi, 4); fixed != nil {
+			res.Candidates = append(res.Candidates, fixed)
+		}
+	}
+	return res, len(res.Candidates) > 0
+}
+
+// companionGroup returns the 4 pairs of a CR 4 companion group containing
+// the given pair, or nil if pi is not a 2-column set.
+func companionGroup(pi ColSet) []ColSet {
+	if pi.Size() != 2 {
+		return nil
+	}
+	group := []ColSet{pi}
+	group = append(group, Companions(pi, 4)...)
+	return group
+}
+
+func sameGroup(a, b []ColSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[ColSet]bool{}
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeCR4ThreeColumns handles the 3-error-column hypothesis (§6.7.2).
+func decodeCR4ThreeColumns(R, gamma *lora.Block, phi [9][]int, xi ColSet) (Result, bool) {
+	var res Result
+	tryTriples := func(cols []int) {
+		for i := 0; i < len(cols); i++ {
+			for j := i + 1; j < len(cols); j++ {
+				for k := j + 1; k < len(cols); k++ {
+					pi := Col(cols[i]) | Col(cols[j]) | Col(cols[k])
+					if fixed := RepairMask(R, pi, 4); fixed != nil {
+						res.Candidates = append(res.Candidates, fixed)
+					}
+				}
+			}
+		}
+	}
+
+	switch xi.Size() {
+	case 1:
+		// Δ2 with the Ξ column reveals 2 or 3 distinct mismatch columns
+		// (Lemma 3); together with Ξ and, when needed, the companion, they
+		// form 4 columns whose four triples are tested.
+		k1 := xi.Columns()[0]
+		_, mismatch := RepairFlipOne(R, gamma, phi[2], k1, 4)
+		cols := ColSet(0)
+		cols |= Col(k1)
+		for _, m := range mismatch {
+			cols |= Col(m)
+		}
+		switch len(mismatch) {
+		case 2:
+			comp := Companions(cols, 4)
+			if len(comp) != 1 || comp[0].Size() != 1 {
+				return Result{}, false
+			}
+			cols |= comp[0]
+		case 3:
+			// The fourth column is already the companion (Lemma 3).
+		default:
+			return Result{}, false
+		}
+		tryTriples(cols.Columns())
+	case 2:
+		pair := xi.Columns()
+		var successes []int
+		for k := 1; k <= 8; k++ {
+			if xi.Has(k) {
+				continue
+			}
+			if fixed := RepairMask(R, xi|Col(k), 4); fixed != nil {
+				res.Candidates = append(res.Candidates, fixed)
+				successes = append(successes, k)
+			}
+		}
+		if len(successes) == 2 {
+			k3, k4 := successes[0], successes[1]
+			for _, kx := range pair {
+				if fixed := RepairMask(R, Col(k3)|Col(k4)|Col(kx), 4); fixed != nil {
+					res.Candidates = append(res.Candidates, fixed)
+				}
+			}
+		}
+	case 3:
+		comp := Companions(xi, 4)
+		if len(comp) == 1 && comp[0].Size() == 1 {
+			xi |= comp[0]
+		}
+		tryTriples(xi.Columns())
+	case 4:
+		tryTriples(xi.Columns())
+	}
+	res.Candidates = dedupBlocks(res.Candidates)
+	return res, len(res.Candidates) > 0
+}
+
+// dedupBlocks removes duplicate candidates (different repairs can converge
+// on the same block).
+func dedupBlocks(in []*lora.Block) []*lora.Block {
+	var out []*lora.Block
+	for _, b := range in {
+		dup := false
+		for _, o := range out {
+			if b.Equal(o) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	return out
+}

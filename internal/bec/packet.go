@@ -1,0 +1,175 @@
+package bec
+
+import (
+	"math/rand"
+
+	"tnb/internal/lora"
+)
+
+// Packet decoding (paper §6.9): the BEC-fixed blocks of the header and
+// payload blocks are assembled into repaired packets and tested against the
+// packet-level CRC, capped at W CRC computations.
+
+// DefaultW returns the paper's W limit for the coding rate: 125 for CR 1
+// and 16 otherwise.
+func DefaultW(cr int) int {
+	if cr == 1 {
+		return 125
+	}
+	return 16
+}
+
+// PacketResult reports a BEC packet decode.
+type PacketResult struct {
+	Header   lora.Header
+	Payload  []uint8
+	OK       bool
+	Rescued  int // codeword rows fixed beyond the default decoder (Fig. 16)
+	CRCTests int // packet CRC evaluations performed
+}
+
+// PacketDecoder decodes packets with BEC. W overrides the per-CR CRC
+// budget when positive. The RNG drives the random candidate sampling when
+// the candidate space exceeds W; a nil RNG falls back to a fixed seed so
+// decoding stays deterministic.
+type PacketDecoder struct {
+	W   int
+	rng *rand.Rand
+}
+
+// NewPacketDecoder builds a decoder. Pass w <= 0 to use the paper's
+// defaults.
+func NewPacketDecoder(w int, rng *rand.Rand) *PacketDecoder {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &PacketDecoder{W: w, rng: rng}
+}
+
+// DecodePacket decodes a packet from its data-symbol shifts. It first
+// BEC-decodes the header block (always CR 4), then, for each valid header
+// candidate, BEC-decodes the payload blocks and searches the candidate
+// cross-product for a CRC pass.
+func (pd *PacketDecoder) DecodePacket(p lora.Params, shifts []int) PacketResult {
+	headerR := lora.HeaderBlockFromShifts(p, shifts)
+	hres := DecodeBlock(headerR, 4)
+	if hres.Failed {
+		return PacketResult{}
+	}
+
+	var out PacketResult
+	seenHeaders := map[lora.Header]bool{}
+	for _, hCand := range hres.Candidates {
+		hdr, ok := lora.HeaderFromCleanBlock(hCand)
+		if !ok || seenHeaders[hdr] {
+			continue
+		}
+		seenHeaders[hdr] = true
+		res := pd.decodeWithHeader(p, shifts, hCand, hdr, &out)
+		if res.OK {
+			return res
+		}
+	}
+	return out
+}
+
+func (pd *PacketDecoder) decodeWithHeader(p lora.Params, shifts []int, hCand *lora.Block, hdr lora.Header, partial *PacketResult) PacketResult {
+	pp := p
+	pp.CR = hdr.CR
+	lay, err := lora.NewLayout(pp, hdr.PayloadLen)
+	if err != nil {
+		return PacketResult{Header: hdr}
+	}
+	blocks := lora.PayloadBlocksFromShifts(pp, shifts, lay.PayloadBlocks)
+	cands := make([][]*lora.Block, len(blocks))
+	cleaned := make([]*lora.Block, len(blocks))
+	for i, b := range blocks {
+		res := DecodeBlock(b, pp.CR)
+		if res.Failed || len(res.Candidates) == 0 {
+			return PacketResult{Header: hdr}
+		}
+		cands[i] = res.Candidates
+		cleaned[i] = lora.CleanBlock(b, pp.CR)
+	}
+
+	w := pd.W
+	if w <= 0 {
+		w = DefaultW(pp.CR)
+	}
+	hClean := lora.CleanBlock(lora.HeaderBlockFromShifts(p, shifts), 4)
+
+	total := 1
+	overflow := false
+	for _, c := range cands {
+		total *= len(c)
+		if total > 1<<20 {
+			overflow = true
+			break
+		}
+	}
+
+	test := func(choice []int) (PacketResult, bool) {
+		chosen := make([]*lora.Block, len(blocks))
+		for i, ci := range choice {
+			chosen[i] = cands[i][ci]
+		}
+		payload, ok := lora.AssemblePayload(hCand, chosen, hdr.PayloadLen)
+		partial.CRCTests++
+		if !ok {
+			return PacketResult{}, false
+		}
+		rescued := 0
+		for i, blk := range chosen {
+			for r := 0; r < blk.Rows; r++ {
+				if blk.RowCodeword(r) != cleaned[i].RowCodeword(r) {
+					rescued++
+				}
+			}
+		}
+		for r := 0; r < hCand.Rows; r++ {
+			if hCand.RowCodeword(r) != hClean.RowCodeword(r) {
+				rescued++
+			}
+		}
+		return PacketResult{
+			Header: hdr, Payload: payload, OK: true,
+			Rescued: rescued, CRCTests: partial.CRCTests,
+		}, true
+	}
+
+	if !overflow && total <= w {
+		// Exhaustive mixed-radix enumeration.
+		choice := make([]int, len(blocks))
+		for n := 0; n < total; n++ {
+			v := n
+			for i := range choice {
+				choice[i] = v % len(cands[i])
+				v /= len(cands[i])
+			}
+			if res, ok := test(choice); ok {
+				return res
+			}
+		}
+		return PacketResult{Header: hdr, CRCTests: partial.CRCTests}
+	}
+
+	// Random sampling of W combinations (paper §6.9), deduplicated.
+	tried := map[string]bool{}
+	choice := make([]int, len(blocks))
+	key := make([]byte, len(blocks))
+	for attempts := 0; attempts < 4*w && len(tried) < w; attempts++ {
+		for i := range choice {
+			choice[i] = pd.rng.Intn(len(cands[i]))
+			key[i] = byte(choice[i])
+		}
+		k := string(key)
+		if tried[k] {
+			continue
+		}
+		tried[k] = true
+		if res, ok := test(choice); ok {
+			return res
+		}
+	}
+	return PacketResult{Header: hdr, CRCTests: partial.CRCTests}
+}

@@ -1,0 +1,304 @@
+package bec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tnb/internal/lora"
+)
+
+// corruptShiftSymbols corrupts n distinct payload-section symbols by adding
+// random bin offsets, modeling demodulation errors. Symbols within a single
+// block are chosen when sameBlock is true.
+func corruptShiftSymbols(rng *rand.Rand, p lora.Params, shifts []int, n int, sameBlock bool) []int {
+	out := append([]int(nil), shifts...)
+	cw := 4 + p.CR
+	nblocks := (len(shifts) - lora.HeaderSymbols) / cw
+	var idxs []int
+	if sameBlock {
+		b := rng.Intn(nblocks)
+		perm := rng.Perm(cw)
+		for i := 0; i < n; i++ {
+			idxs = append(idxs, lora.HeaderSymbols+b*cw+perm[i])
+		}
+	} else {
+		perm := rng.Perm(len(shifts) - lora.HeaderSymbols)
+		for i := 0; i < n; i++ {
+			idxs = append(idxs, lora.HeaderSymbols+perm[i])
+		}
+	}
+	for _, i := range idxs {
+		off := 1 + rng.Intn(p.N()-1)
+		out[i] = (out[i] + off) % p.N()
+	}
+	return out
+}
+
+func TestPacketDecodeClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, sf := range []int{8, 10} {
+		for cr := 1; cr <= 4; cr++ {
+			p := lora.MustParams(sf, cr, 125e3, 8)
+			payload := make([]uint8, 14)
+			rng.Read(payload)
+			shifts, _, err := lora.Encode(p, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pd := NewPacketDecoder(0, rng)
+			res := pd.DecodePacket(p, shifts)
+			if !res.OK || !bytes.Equal(res.Payload, payload) {
+				t.Fatalf("SF%d CR%d: clean packet decode failed", sf, cr)
+			}
+			if res.Rescued != 0 {
+				t.Errorf("SF%d CR%d: %d rescued rows on a clean packet", sf, cr, res.Rescued)
+			}
+		}
+	}
+}
+
+func TestPacketDecodeRescuesBeyondDefault(t *testing.T) {
+	// Corrupt 2 symbols of one CR4 block: the default decoder usually
+	// fails, BEC must recover.
+	rng := rand.New(rand.NewSource(71))
+	p := lora.MustParams(8, 4, 125e3, 8)
+	payload := []uint8("fourteen bytes")
+	shifts, _, err := lora.Encode(p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPacketDecoder(0, rng)
+	becOK, defOK, rescuedSeen := 0, 0, 0
+	const trials = 150
+	for i := 0; i < trials; i++ {
+		c := corruptShiftSymbols(rng, p, shifts, 2, true)
+		if res := pd.DecodePacket(p, c); res.OK && bytes.Equal(res.Payload, payload) {
+			becOK++
+			if res.Rescued > 0 {
+				rescuedSeen++
+			}
+		}
+		if res := lora.DecodeDefault(p, c); res.OK && bytes.Equal(res.Payload, payload) {
+			defOK++
+		}
+	}
+	if becOK != trials {
+		t.Errorf("BEC decoded %d/%d 2-symbol-corrupted packets", becOK, trials)
+	}
+	if defOK > trials/2 {
+		t.Errorf("default decoder decoded %d/%d; corruption too weak to discriminate", defOK, trials)
+	}
+	if rescuedSeen == 0 {
+		t.Error("no packets reported rescued codewords")
+	}
+}
+
+func TestPacketDecodeThreeSymbolErrorsCR4(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	p := lora.MustParams(8, 4, 125e3, 8)
+	payload := []uint8("three col test")
+	shifts, _, err := lora.Encode(p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPacketDecoder(0, rng)
+	ok := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		c := corruptShiftSymbols(rng, p, shifts, 3, true)
+		if res := pd.DecodePacket(p, c); res.OK && bytes.Equal(res.Payload, payload) {
+			ok++
+		}
+	}
+	// Paper Table 1: over 96% of 3-symbol errors corrected (SF 8 ≈ 98%).
+	if rate := float64(ok) / float64(trials); rate < 0.9 {
+		t.Errorf("CR4 3-symbol packet recovery rate %.2f", rate)
+	}
+}
+
+func TestPacketDecodeScatteredErrors(t *testing.T) {
+	// One corrupted symbol in each of two different blocks: both blocks
+	// repair independently and the cross-product search finds the truth.
+	rng := rand.New(rand.NewSource(73))
+	p := lora.MustParams(8, 3, 125e3, 8)
+	payload := []uint8("scatter errors")
+	shifts, _, err := lora.Encode(p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPacketDecoder(0, rng)
+	ok := 0
+	const trials = 150
+	for i := 0; i < trials; i++ {
+		c := corruptShiftSymbols(rng, p, shifts, 2, false)
+		if res := pd.DecodePacket(p, c); res.OK && bytes.Equal(res.Payload, payload) {
+			ok++
+		}
+	}
+	if rate := float64(ok) / float64(trials); rate < 0.9 {
+		t.Errorf("scattered-error recovery rate %.2f", rate)
+	}
+}
+
+func TestPacketDecodeHeaderCorruption(t *testing.T) {
+	// Corrupt one header symbol: the header block is CR4 so BEC must
+	// recover the header and then the payload.
+	rng := rand.New(rand.NewSource(74))
+	p := lora.MustParams(8, 2, 125e3, 8)
+	payload := []uint8("header corrupt")
+	shifts, _, err := lora.Encode(p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPacketDecoder(0, rng)
+	ok := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		c := append([]int(nil), shifts...)
+		idx := rng.Intn(lora.HeaderSymbols)
+		c[idx] = (c[idx] + 4*(1+rng.Intn(p.N()/4-1))) % p.N()
+		if res := pd.DecodePacket(p, c); res.OK && bytes.Equal(res.Payload, payload) {
+			ok++
+		}
+	}
+	if ok < trials*9/10 {
+		t.Errorf("header-corruption recovery %d/%d", ok, trials)
+	}
+}
+
+func TestPacketDecodeCRCBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	p := lora.MustParams(8, 1, 125e3, 8)
+	payload := []uint8("budget check!!")
+	shifts, _, err := lora.Encode(p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one symbol per block in 2 blocks: candidate space 5^k.
+	c := corruptShiftSymbols(rng, p, shifts, 2, false)
+	pd := NewPacketDecoder(0, rng)
+	res := pd.DecodePacket(p, c)
+	if res.CRCTests > 125+5 {
+		t.Errorf("CR1 used %d CRC tests, budget 125", res.CRCTests)
+	}
+	// The paper notes W=25 still decodes most CR1 packets.
+	pd25 := NewPacketDecoder(25, rng)
+	res25 := pd25.DecodePacket(p, c)
+	if res25.CRCTests > 25+5 {
+		t.Errorf("W=25 used %d CRC tests", res25.CRCTests)
+	}
+}
+
+func TestPacketDecodeGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	p := lora.MustParams(8, 4, 125e3, 8)
+	shifts := make([]int, 48)
+	for i := range shifts {
+		shifts[i] = rng.Intn(p.N())
+	}
+	pd := NewPacketDecoder(0, rng)
+	res := pd.DecodePacket(p, shifts)
+	if res.OK {
+		t.Error("garbage symbols should not decode")
+	}
+}
+
+func TestDefaultW(t *testing.T) {
+	if DefaultW(1) != 125 || DefaultW(2) != 16 || DefaultW(4) != 16 {
+		t.Error("DefaultW mismatch with paper §6.9")
+	}
+}
+
+func TestPsiRecursionSumsToOne(t *testing.T) {
+	// Σ_{x=1..8} C(8,x)·Ψx = 1: some combination count always occurs.
+	for _, sf := range []int{7, 8, 10, 12} {
+		psi := Psi(sf, 8)
+		var sum float64
+		for x := 1; x <= 8; x++ {
+			sum += binom(8, x) * psi[x]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("SF%d: ΣC(8,x)Ψx = %g", sf, sum)
+		}
+	}
+}
+
+func TestErrorProbMatchesPaperFig20(t *testing.T) {
+	// Fig. 20: error probability < 0.04 at SF 7 and decreasing in SF.
+	p7 := ErrorProbCR4ThreeColumns(7)
+	if p7 <= 0 || p7 >= 0.04 {
+		t.Errorf("SF7 analytical error prob %g, want (0, 0.04)", p7)
+	}
+	prev := p7
+	for sf := 8; sf <= 12; sf++ {
+		p := ErrorProbCR4ThreeColumns(sf)
+		if p >= prev {
+			t.Errorf("error prob not decreasing at SF%d: %g >= %g", sf, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMonteCarloMatchesAnalysis(t *testing.T) {
+	// Independence-assumption Monte Carlo vs Lemma 4, the comparison in
+	// Fig. 20. Under the independence assumption bits flip with p=0.5
+	// without the at-least-one-flip conditioning.
+	rng := rand.New(rand.NewSource(77))
+	sf := 7
+	trials, failures := 4000, 0
+	for trial := 0; trial < trials; trial++ {
+		truth := encodeBlock(rng, sf, 4)
+		cols := pickCols(rng, 8, 3)
+		R := truth.Clone()
+		for _, k := range cols {
+			for r := 0; r < R.Rows; r++ {
+				if rng.Intn(2) == 1 {
+					R.Bits[r][k-1] ^= 1
+				}
+			}
+		}
+		res := DecodeBlock(R, 4)
+		// Under the independence assumption a decode "error" includes
+		// returning prematurely without the truth among candidates.
+		if !containsBlock(res.Candidates, truth) {
+			failures++
+		}
+	}
+	got := float64(failures) / float64(trials)
+	want := ErrorProbCR4ThreeColumns(sf)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("Monte Carlo %g vs analysis %g", got, want)
+	}
+}
+
+func TestErrorProbCR3(t *testing.T) {
+	if got := ErrorProbCR3TwoColumns(8); got != math.Pow(2, -8) {
+		t.Errorf("CR3 analytical prob %g", got)
+	}
+}
+
+func BenchmarkDecodeBlockCR4TwoColumns(b *testing.B) {
+	rng := rand.New(rand.NewSource(78))
+	truth := encodeBlock(rng, 8, 4)
+	R := corruptColumns(rng, truth, []int{2, 6})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeBlock(R, 4)
+	}
+}
+
+func BenchmarkPacketDecodeCR4(b *testing.B) {
+	rng := rand.New(rand.NewSource(79))
+	p := lora.MustParams(8, 4, 125e3, 8)
+	shifts, _, _ := lora.Encode(p, make([]uint8, 14))
+	c := corruptShiftSymbols(rng, p, shifts, 2, true)
+	pd := NewPacketDecoder(0, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd.DecodePacket(p, c)
+	}
+}

@@ -1,0 +1,132 @@
+package bec
+
+import (
+	"math/bits"
+
+	"tnb/internal/lora"
+)
+
+// Repair methods Δ', Δ1, Δ2, Δ3 (paper §6.3). Each takes the received block
+// R and produces a BEC-fixed block, or reports failure.
+
+// RepairChecksum is Δ': CR 1 only. The block is repaired with column k by
+// recomputing that column from the checksum relation of the other four
+// columns. It always succeeds and returns a full block of valid CR 1
+// codewords.
+func RepairChecksum(R *lora.Block, k int) *lora.Block {
+	out := R.Clone()
+	for r := 0; r < out.Rows; r++ {
+		row := out.RowCodeword(r)
+		// The 5 columns are the 4 data bits and the checksum; the parity
+		// of all 5 bits must be even. Recompute bit k accordingly.
+		var parityOthers uint8
+		for c := 1; c <= 5; c++ {
+			if c == k {
+				continue
+			}
+			parityOthers ^= row >> uint(8-c) & 1
+		}
+		if row>>uint(8-k)&1 != parityOthers {
+			row ^= uint8(Col(k))
+		}
+		out.SetRowCodeword(r, row)
+	}
+	return out
+}
+
+// matchMasked returns the unique codeword matching word on all columns
+// outside mask, or (0, false) when none matches. Uniqueness holds whenever
+// |mask| is below the code's minimum distance.
+func matchMasked(word uint8, mask ColSet, cws *[16]uint8, width uint8) (uint8, bool) {
+	keep := width &^ uint8(mask)
+	for _, cw := range cws {
+		if (cw^word)&keep == 0 {
+			return cw & width, true
+		}
+	}
+	return 0, false
+}
+
+// RepairMask is Δ1: mask the columns in pi and replace every row with the
+// codeword that matches it on the remaining columns. It returns nil when
+// any row has no matching codeword (paper §6.3: "R is repairable only if
+// every row is repairable").
+func RepairMask(R *lora.Block, pi ColSet, cr int) *lora.Block {
+	cws := codewords(cr)
+	width := uint8(0xFF) << uint(8-(4+cr))
+	out := lora.NewBlock(R.Rows, R.Cols)
+	for r := 0; r < R.Rows; r++ {
+		cw, ok := matchMasked(R.RowCodeword(r), pi, &cws, width)
+		if !ok {
+			return nil
+		}
+		out.SetRowCodeword(r, cw)
+	}
+	return out
+}
+
+// RepairFlipOne is Δ2 (CR 4): assume column k1 is a true error column. For
+// every row in phi2 (rows where R and Γ differ in two bits), flip the bit
+// in k1 and find a codeword at distance exactly one; the differing column
+// is that row's column of mismatch. The repair succeeds when all phi2 rows
+// share the same column of mismatch; other rows take their Γ values.
+//
+// The mismatch columns discovered along the way are returned even on
+// failure — the 3-column decoder uses them to identify the error columns
+// (paper §6.7.2 and Lemma 3).
+func RepairFlipOne(R, gamma *lora.Block, phi2 []int, k1 int, cr int) (fixed *lora.Block, mismatch []int) {
+	cws := codewords(cr)
+	width := uint8(0xFF) << uint(8-(4+cr))
+	out := gamma.Clone()
+	seen := map[int]bool{}
+	ok := true
+	for _, r := range phi2 {
+		word := R.RowCodeword(r) ^ uint8(Col(k1))
+		found := false
+		for _, cw := range cws {
+			diff := (cw ^ word) & width
+			if bits.OnesCount8(diff) == 1 {
+				col := 8 - bits.Len8(diff) + 1 // bit position → column index
+				if !seen[col] {
+					seen[col] = true
+					mismatch = append(mismatch, col)
+				}
+				out.SetRowCodeword(r, cw)
+				found = true
+				break
+			}
+		}
+		if !found {
+			ok = false
+		}
+	}
+	if !ok || len(mismatch) != 1 {
+		return nil, mismatch
+	}
+	return out, mismatch
+}
+
+// RepairFlipTwo is Δ3 (CR 4, |Ξ| = 0): flip the bits in columns k1 and k2
+// of every phi2 row and require an exact codeword match; other rows take
+// their Γ values. Returns nil if any phi2 row fails.
+func RepairFlipTwo(R, gamma *lora.Block, phi2 []int, k1, k2 int, cr int) *lora.Block {
+	cws := codewords(cr)
+	width := uint8(0xFF) << uint(8-(4+cr))
+	out := gamma.Clone()
+	flip := uint8(Col(k1) | Col(k2))
+	for _, r := range phi2 {
+		word := (R.RowCodeword(r) ^ flip) & width
+		matched := false
+		for _, cw := range cws {
+			if cw&width == word {
+				out.SetRowCodeword(r, cw&width)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"tnb/internal/lora"
+	"tnb/internal/peaks"
+	"tnb/internal/thrive"
+)
+
+func TestDebugPipeline(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	p := lora.MustParams(8, 4, 125e3, 8)
+	sym := float64(p.SymbolSamples())
+	tr, recs := makeTrace(t, 210, p, 1.2, []txSpec{
+		{start: 20000.4, snr: 12, cfo: 2100, payload: payloadOf(1)},
+		{start: 20000.4 + 11.5*sym, snr: 7, cfo: -3300, payload: payloadOf(2)},
+	})
+	r := NewReceiver(Config{Params: p, UseBEC: true})
+	pkts := r.detector.Detect(tr.Antennas)
+	t.Logf("detected %d packets", len(pkts))
+	for i, pk := range pkts {
+		t.Logf("pkt %d: start %.2f cfo %.4f", i, pk.Start, pk.CFOCycles)
+	}
+	for _, rec := range recs {
+		t.Logf("true: start %.2f cfo %.4f len %d", rec.StartSample, rec.CFOHz*p.SymbolDuration(), len(rec.Shifts))
+	}
+	states := make([]*thrive.PacketState, len(pkts))
+	for i, pk := range pkts {
+		states[i] = thrive.NewPacketState(i, r.newCalc(tr.Antennas, pk, tr.Len()))
+	}
+	engine := thrive.NewEngine(p, thrive.Config{})
+	engine.Run(states, tr.Len())
+	for i, st := range states {
+		if i >= len(recs) {
+			break
+		}
+		rec := recs[i]
+		errs, tot := 0, len(rec.Shifts)
+		for j := range rec.Shifts {
+			if j < len(st.Assigned) && st.Assigned[j] != rec.Shifts[j] {
+				errs++
+				if errs < 8 {
+					y := st.Calc.SigVec(j)
+					ps := peaks.Find(y, 0, 6)
+					t.Logf(" pkt %d sym %d: got %d want %d trueY=%.3e peaks=%v",
+						i, j, st.Assigned[j], rec.Shifts[j], y[rec.Shifts[j]], ps)
+				}
+			}
+		}
+		t.Logf("pkt %d: %d/%d symbol errors (numData=%d)", i, errs, tot, st.Calc.NumData())
+	}
+}

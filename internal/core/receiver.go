@@ -1,0 +1,289 @@
+// Package core assembles the TnB receiver (paper Fig. 3): packet detection,
+// per-packet signal calculation, Thrive peak assignment, and BEC decoding,
+// including the second decoding pass that masks the peaks of packets
+// decoded in the first attempt (paper §4).
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"tnb/internal/bec"
+	"tnb/internal/detect"
+	"tnb/internal/lora"
+	"tnb/internal/peaks"
+	"tnb/internal/stats"
+	"tnb/internal/thrive"
+	"tnb/internal/trace"
+)
+
+// Config selects the receiver variant. The zero value of optional fields
+// picks the paper's settings.
+type Config struct {
+	Params lora.Params
+	// Policy selects the peak-assignment algorithm: Thrive (default),
+	// Sibling (no history cost) or AlignTrack* (baseline).
+	Policy thrive.Policy
+	// UseBEC enables Block Error Correction; false uses the default
+	// per-codeword Hamming decoder (the "Thrive" configuration of §8.4).
+	UseBEC bool
+	// SecondPass re-decodes failed packets with decoded packets' peaks
+	// masked (paper §4). Default on; set DisableSecondPass to turn off.
+	DisableSecondPass bool
+	// W caps BEC's packet CRC tests; 0 selects the paper's defaults.
+	W int
+	// MaxPayloadLen bounds the provisional packet length before the PHY
+	// header is decoded. 0 defaults to 48 bytes.
+	MaxPayloadLen int
+	// Omega overrides the history-cost weight ω (0 → paper's 0.1).
+	Omega float64
+	// ListDecode retries a failed packet with Thrive's runner-up peak
+	// substituted one symbol at a time — a list-decoding extension in the
+	// spirit of the papers §2 cites ([16, 17]), applied per collided
+	// packet. Off by default to match the paper's configuration.
+	ListDecode bool
+	// ListDecodeBudget caps the substitution attempts per packet
+	// (0 → 24).
+	ListDecodeBudget int
+	// Seed drives BEC's random candidate sampling.
+	Seed int64
+}
+
+// Decoded is one successfully decoded packet.
+type Decoded struct {
+	Payload   []uint8
+	Header    lora.Header
+	Start     float64 // packet start in rx samples
+	CFOCycles float64
+	SNRdB     float64 // estimated from preamble peaks vs the noise floor
+	Rescued   int     // codewords fixed beyond the default decoder
+	Pass      int     // 1 or 2 (second decoding attempt)
+}
+
+// Receiver is the TnB gateway-side decoder. Create with NewReceiver; a
+// Receiver may be reused across traces but is not safe for concurrent use.
+type Receiver struct {
+	cfg      Config
+	detector *detect.Detector
+	demod    *lora.Demodulator
+	rng      *rand.Rand
+}
+
+// NewReceiver builds a receiver for the parameter set in cfg.
+func NewReceiver(cfg Config) *Receiver {
+	if cfg.MaxPayloadLen == 0 {
+		cfg.MaxPayloadLen = 48
+	}
+	d := detect.NewDetector(cfg.Params)
+	return &Receiver{
+		cfg:      cfg,
+		detector: d,
+		demod:    d.Demodulator(),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Decode runs the full pipeline on a trace and returns the decoded packets
+// in start-time order.
+func (r *Receiver) Decode(tr *trace.Trace) []Decoded {
+	return r.DecodeSamples(tr.Antennas)
+}
+
+// DecodeSamples is Decode for raw per-antenna sample slices.
+func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
+	pkts := r.detector.Detect(antennas)
+	if len(pkts) == 0 {
+		return nil
+	}
+	p := r.cfg.Params
+	traceLen := len(antennas[0])
+
+	states := make([]*thrive.PacketState, len(pkts))
+	for i, pk := range pkts {
+		states[i] = thrive.NewPacketState(i, r.newCalc(antennas, pk, traceLen))
+	}
+
+	engine := thrive.NewEngine(p, thrive.Config{Policy: r.cfg.Policy, Omega: r.cfg.Omega})
+	engine.Run(states, traceLen)
+
+	var out []Decoded
+	decodedIdx := map[int]bool{}
+	for i, st := range states {
+		if dec, ok := r.decodeAssigned(st, pkts[i], 1); ok {
+			out = append(out, dec)
+			decodedIdx[i] = true
+		}
+	}
+
+	if !r.cfg.DisableSecondPass && len(decodedIdx) > 0 && len(decodedIdx) < len(states) {
+		out = append(out, r.secondPass(antennas, pkts, states, decodedIdx, traceLen, engine)...)
+	}
+	return out
+}
+
+// newCalc builds a signal-vector calculator with a provisional symbol count
+// (the true count is learned from the PHY header after assignment).
+func (r *Receiver) newCalc(antennas [][]complex128, pk detect.Packet, traceLen int) *peaks.Calculator {
+	p := r.cfg.Params
+	lay, err := lora.NewLayout(p, r.cfg.MaxPayloadLen)
+	maxSyms := 0
+	if err == nil {
+		maxSyms = lay.DataSymbols
+	}
+	dataStart := pk.Start + (lora.PreambleUpchirps+lora.SyncSymbols+
+		float64(lora.DownchirpQuarters)/4)*float64(p.SymbolSamples())
+	avail := int((float64(traceLen) - dataStart) / float64(p.SymbolSamples()))
+	if avail < 0 {
+		avail = 0
+	}
+	if maxSyms == 0 || avail < maxSyms {
+		maxSyms = avail
+	}
+	return peaks.NewCalculator(r.demod, antennas, pk.Start, pk.CFOCycles, maxSyms)
+}
+
+// decodeAssigned turns a packet's assigned peak bins into a payload.
+func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass int) (Decoded, bool) {
+	p := r.cfg.Params
+	shifts := make([]int, len(st.Assigned))
+	for i, b := range st.Assigned {
+		if b >= 0 {
+			shifts[i] = b
+		}
+	}
+	if len(shifts) < lora.HeaderSymbols {
+		return Decoded{}, false
+	}
+
+	var hdr lora.Header
+	var payload []uint8
+	rescued := 0
+	decodeOnce := func(sh []int) (lora.Header, []uint8, int, bool) {
+		if r.cfg.UseBEC {
+			pd := bec.NewPacketDecoder(r.cfg.W, r.rng)
+			res := pd.DecodePacket(p, sh)
+			return res.Header, res.Payload, res.Rescued, res.OK
+		}
+		res := lora.DecodeDefault(p, sh)
+		return res.Header, res.Payload, 0, res.OK
+	}
+	var ok bool
+	hdr, payload, rescued, ok = decodeOnce(shifts)
+	if !ok && r.cfg.ListDecode {
+		hdr, payload, rescued, ok = r.listDecode(st, shifts, decodeOnce)
+	}
+	if !ok {
+		return Decoded{}, false
+	}
+
+	// Mark decoded: re-encode to obtain the true on-air shifts for
+	// masking in the second pass.
+	pp := p
+	pp.CR = hdr.CR
+	if trueShifts, _, err := lora.Encode(pp, payload); err == nil {
+		st.Known = true
+		st.KnownShifts = trueShifts
+	}
+
+	return Decoded{
+		Payload:   payload,
+		Header:    hdr,
+		Start:     pk.Start,
+		CFOCycles: pk.CFOCycles,
+		SNRdB:     r.estimateSNR(st),
+		Rescued:   rescued,
+		Pass:      pass,
+	}, true
+}
+
+// listDecode retries the packet with the runner-up peak substituted one
+// symbol at a time, most-ambiguous symbols first (smallest height gap
+// between the chosen peak and its alternate).
+func (r *Receiver) listDecode(st *thrive.PacketState, shifts []int,
+	decodeOnce func([]int) (lora.Header, []uint8, int, bool)) (lora.Header, []uint8, int, bool) {
+
+	budget := r.cfg.ListDecodeBudget
+	if budget <= 0 {
+		budget = 24
+	}
+	type cand struct {
+		idx int
+		gap float64
+	}
+	var cands []cand
+	for i, alt := range st.Alternates {
+		if i >= len(shifts) || alt < 0 || alt == shifts[i] {
+			continue
+		}
+		// Ambiguity proxy: how close the alternate's signal level is to
+		// the chosen peak's.
+		chosen := st.Heights[i]
+		altH := st.Calc.ValueAt(i, float64(alt))
+		gap := chosen - altH
+		cands = append(cands, cand{idx: i, gap: gap})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].gap < cands[b].gap })
+	if len(cands) > budget {
+		cands = cands[:budget]
+	}
+	trial := make([]int, len(shifts))
+	for _, c := range cands {
+		copy(trial, shifts)
+		trial[c.idx] = st.Alternates[c.idx]
+		if hdr, payload, rescued, ok := decodeOnce(trial); ok {
+			return hdr, payload, rescued, true
+		}
+	}
+	return lora.Header{}, nil, 0, false
+}
+
+// estimateSNR derives a per-packet SNR estimate from the preamble peak
+// height against the noise floor read from the median signal-vector bin
+// (exponential noise: median = ln2·mean).
+func (r *Receiver) estimateSNR(st *thrive.PacketState) float64 {
+	p := r.cfg.Params
+	hs := st.Calc.PreamblePeakHeights()
+	if len(hs) == 0 {
+		return math.Inf(-1)
+	}
+	peak := stats.Median(hs)
+	y := st.Calc.SigVec(-(lora.PreambleUpchirps + lora.SyncSymbols))
+	floor := stats.Median(y) / math.Ln2
+	if floor <= 0 {
+		return math.Inf(1)
+	}
+	snr := peak / (floor * float64(p.N()))
+	return 10 * math.Log10(snr)
+}
+
+// secondPass re-runs assignment with decoded packets' peaks masked and the
+// failed packets' histories fitted over their first-pass observations.
+func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
+	states []*thrive.PacketState, decodedIdx map[int]bool, traceLen int,
+	engine *thrive.Engine) []Decoded {
+
+	retry := make([]*thrive.PacketState, len(pkts))
+	for i, pk := range pkts {
+		st := thrive.NewPacketState(i, r.newCalc(antennas, pk, traceLen))
+		if decodedIdx[i] {
+			st.Known = true
+			st.KnownShifts = states[i].KnownShifts
+		} else {
+			st.PriorHeights = append([]float64(nil), states[i].Heights...)
+		}
+		retry[i] = st
+	}
+	engine.Run(retry, traceLen)
+
+	var out []Decoded
+	for i, st := range retry {
+		if decodedIdx[i] {
+			continue
+		}
+		if dec, ok := r.decodeAssigned(st, pkts[i], 2); ok {
+			out = append(out, dec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+// Package detect implements TnB's packet detection (paper §7): preamble
+// discovery from repeated dechirped peaks (step 1), start-time validation
+// with ±2T adjustments (step 2), coarse timing/CFO estimation from the
+// upchirp and downchirp peak locations (step 3), and the 3-phase fractional
+// timing/CFO search over the Q/Q* functions (step 4).
+package detect
+
+import (
+	"math"
+	"sort"
+
+	"tnb/internal/lora"
+	"tnb/internal/peaks"
+	"tnb/internal/stats"
+)
+
+// Packet is one detected LoRa packet.
+type Packet struct {
+	Start     float64 // packet (preamble) start, fractional rx samples
+	CFOCycles float64 // CFO in cycles per symbol
+	Quality   float64 // preamble peak energy, for ordering and SNR estimates
+}
+
+// Detector finds LoRa preambles in a trace. Construct with NewDetector.
+type Detector struct {
+	p     lora.Params
+	demod *lora.Demodulator
+
+	// MaxCFOCycles bounds the CFO search; the paper's hardware stays
+	// within ±4.88 kHz (§8.5), i.e. ±4880/BW·N cycles per symbol.
+	MaxCFOCycles float64
+	// MinRun is the number of consecutive windows with a stable dechirped
+	// peak required to declare a preamble candidate.
+	MinRun int
+	// MaxPeaksPerWindow bounds the peaks tracked per detection window.
+	MaxPeaksPerWindow int
+	// MinPeakHeight discards detection peaks below this height (absolute,
+	// in signal-vector units). Zero selects an adaptive threshold.
+	MinPeakHeight float64
+}
+
+// NewDetector builds a detector with the paper's defaults.
+func NewDetector(p lora.Params) *Detector {
+	return &Detector{
+		p:                 p,
+		demod:             lora.NewDemodulator(p),
+		MaxCFOCycles:      4880.0 / p.Bandwidth * float64(p.N()),
+		MinRun:            5,
+		MaxPeaksPerWindow: 8,
+	}
+}
+
+// Demodulator exposes the detector's demodulator so downstream stages reuse
+// its FFT plan and reference chirps.
+func (d *Detector) Demodulator() *lora.Demodulator { return d.demod }
+
+// candidate is a raw preamble hit before refinement.
+type candidate struct {
+	window int // grid window index where the run completed
+	bin    int // stable up-peak bin
+	height float64
+}
+
+// Detect scans the trace (all antennas, signal vectors summed) and returns
+// the refined packets sorted by start time.
+func (d *Detector) Detect(antennas [][]complex128) []Packet {
+	if len(antennas) == 0 || len(antennas[0]) == 0 {
+		return nil
+	}
+	cands := d.scanPreambles(antennas)
+	var pkts []Packet
+	for _, c := range cands {
+		if pkt, ok := d.refine(antennas, c); ok {
+			pkts = append(pkts, pkt)
+		}
+	}
+	pkts = dedup(pkts, float64(d.p.SymbolSamples())/2)
+	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Start < pkts[j].Start })
+	return pkts
+}
+
+// scanPreambles is step 1: windows of one symbol slide over the trace;
+// a peak persisting across MinRun consecutive windows marks a preamble.
+func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
+	n := d.p.N()
+	sym := d.p.SymbolSamples()
+	nwin := len(antennas[0]) / sym
+	y := make([]float64, n)
+	buf := make([]complex128, n)
+	acc := make([]float64, n)
+
+	type runState struct {
+		count   int
+		height  float64
+		emitted bool
+	}
+	runs := map[int]*runState{}
+	var cands []candidate
+
+	for g := 0; g < nwin; g++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for _, ant := range antennas {
+			d.demod.SignalVectorInto(y, buf, ant, float64(g*sym), 0, 0)
+			for i := range acc {
+				acc[i] += y[i]
+			}
+		}
+		// Selectivity tied to the noise floor (median bin) rather than the
+		// window's range, so a weak preamble is tracked next to a much
+		// stronger collider.
+		sel := d.MinPeakHeight
+		if sel == 0 {
+			sel = 6 * stats.Median(acc)
+		}
+		ps := peaks.Find(acc, sel, d.MaxPeaksPerWindow)
+
+		next := map[int]*runState{}
+		for _, pk := range ps {
+			best := (*runState)(nil)
+			for _, db := range []int{0, -1, 1} {
+				if st, ok := runs[(pk.Bin+db+n)%n]; ok {
+					if best == nil || st.count > best.count {
+						best = st
+					}
+				}
+			}
+			st := &runState{count: 1, height: pk.Height}
+			if best != nil {
+				st.count = best.count + 1
+				st.height = math.Max(best.height, pk.Height)
+				st.emitted = best.emitted
+			}
+			if prev, ok := next[pk.Bin]; !ok || st.count > prev.count {
+				next[pk.Bin] = st
+			}
+			if st.count >= d.MinRun && !st.emitted {
+				st.emitted = true
+				cands = append(cands, candidate{window: g, bin: pk.Bin, height: st.height})
+			}
+		}
+		runs = next
+	}
+	return cands
+}
+
+// refine runs steps 2–4 for one candidate and returns the packet estimate.
+func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, bool) {
+	n := d.p.N()
+	sym := d.p.SymbolSamples()
+
+	// Locate the downchirp: windows shortly after the run completion
+	// should contain the 2.25 downchirps (the run completes MinRun
+	// windows into the 8 upchirps, so the downchirps start 3–7 windows
+	// later). Pick the window/bin with maximum down-dechirped energy.
+	bestE, bestBin, bestWin := 0.0, 0, -1
+	for g := c.window + 1; g <= c.window+8; g++ {
+		start := float64(g * sym)
+		if int(start)+sym >= len(antennas[0]) {
+			break
+		}
+		acc := make([]float64, n)
+		for _, ant := range antennas {
+			y := d.demod.DownSignalVector(ant, start, 0, 0)
+			for i := range y {
+				acc[i] += y[i]
+			}
+		}
+		bi := peaks.HighestBin(acc)
+		if acc[bi] > bestE {
+			bestE, bestBin, bestWin = acc[bi], bi, g
+		}
+	}
+	if bestWin < 0 {
+		return Packet{}, false
+	}
+
+	// Step 3: coarse timing and CFO from x1 (up peak) and x2 (down peak):
+	// x1 = δ + c, x2 = c − δ (mod N), with δ the window offset in chips
+	// and c the CFO in cycles/symbol. The N/2 ambiguity is resolved by
+	// the CFO bound.
+	x1, x2 := float64(c.bin), float64(bestBin)
+	cfo := math.Mod((x1+x2)/2, float64(n))
+	delta := math.Mod((x1-x2)/2, float64(n))
+	cfo, delta = d.resolveAmbiguity(cfo, delta)
+	if math.Abs(cfo) > d.MaxCFOCycles+2 {
+		return Packet{}, false
+	}
+
+	// Anchor: the max-energy down window overlaps the downchirp section,
+	// which starts 10 symbols after the preamble start.
+	if delta < 0 {
+		delta += float64(n)
+	}
+	start := float64(bestWin*sym) - delta*float64(d.p.OSF) - float64(10*sym)
+
+	// Step 2: test adjustments of -2T..2T; every adjustment that passes
+	// preamble validation is refined by the step-4 fractional search, and
+	// the hypothesis with the highest gated energy Q* wins. Selecting on
+	// Q* rather than the raw validation score disambiguates aliases under
+	// collisions, where a foreign packet can inflate the validation
+	// energy of a misaligned hypothesis.
+	var best Packet
+	found := false
+	for adj := -2; adj <= 2; adj++ {
+		s := start + float64(adj*sym)
+		if s < -float64(sym) {
+			continue
+		}
+		if _, ok := d.validatePreamble(antennas, s, cfo); !ok {
+			continue
+		}
+		ft, fc, q := d.fractionalSearch(antennas, s, cfo)
+		if !found || q > best.Quality {
+			best = Packet{Start: s + ft, CFOCycles: cfo + fc, Quality: q}
+			found = true
+		}
+	}
+	if !found || math.Abs(best.CFOCycles) > d.MaxCFOCycles+2 {
+		return Packet{}, false
+	}
+	return best, true
+}
+
+// resolveAmbiguity maps (cfo, delta) into the canonical range: cfo into
+// (−N/2, N/2] and then, if the CFO bound is violated, shifts both by N/2
+// (the inherent half-period ambiguity of the x1/x2 system).
+func (d *Detector) resolveAmbiguity(cfo, delta float64) (float64, float64) {
+	n := float64(d.p.N())
+	norm := func(v float64) float64 {
+		v = math.Mod(v, n)
+		if v > n/2 {
+			v -= n
+		}
+		if v <= -n/2 {
+			v += n
+		}
+		return v
+	}
+	cfo = norm(cfo)
+	if math.Abs(cfo) > d.MaxCFOCycles+2 {
+		cfo = norm(cfo + n/2)
+		delta += n / 2
+	}
+	return cfo, math.Mod(delta, n)
+}
+
+// validatePreamble checks that a hypothesized start time produces upchirp
+// peaks at the expected location in most preamble symbols and a downchirp
+// peak at the matching location, returning the total peak energy.
+func (d *Detector) validatePreamble(antennas [][]complex128, start, cfo float64) (float64, bool) {
+	n := d.p.N()
+	sym := d.p.SymbolSamples()
+	hits, total := 0, 0
+	var energy float64
+	for k := 0; k < lora.PreambleUpchirps; k++ {
+		s := start + float64(k*sym)
+		if s < 0 || int(s)+sym >= len(antennas[0]) {
+			continue
+		}
+		total++
+		acc := make([]float64, n)
+		for _, ant := range antennas {
+			y := d.demod.SignalVector(ant, s, cfo, k)
+			for i := range y {
+				acc[i] += y[i]
+			}
+		}
+		if e, ok := peakNearZero(acc); ok {
+			hits++
+			energy += e
+		}
+	}
+	if total < 4 || hits < total-2 {
+		return 0, false
+	}
+	// Downchirp check at start + 10T.
+	s := start + float64(10*sym)
+	if int(s)+sym < len(antennas[0]) && s >= 0 {
+		acc := make([]float64, n)
+		for _, ant := range antennas {
+			y := d.demod.DownSignalVector(ant, s, cfo, 10)
+			for i := range y {
+				acc[i] += y[i]
+			}
+		}
+		e, ok := peakNearZero(acc)
+		if !ok {
+			return 0, false
+		}
+		energy += e
+	}
+	return energy, true
+}
+
+// peakNearZero checks for a substantial peak within ±2 bins of bin 0. A
+// stronger collider may own the global maximum of a preamble window, so the
+// test is local: the neighborhood value must stand well above the noise
+// floor (median bin).
+func peakNearZero(acc []float64) (float64, bool) {
+	n := len(acc)
+	best := 0.0
+	for db := -2; db <= 2; db++ {
+		if v := acc[(db+n)%n]; v > best {
+			best = v
+		}
+	}
+	floor := stats.Median(acc)
+	if floor <= 0 {
+		return best, best > 0
+	}
+	return best, best >= 8*floor
+}
+
+// binDist is the circular distance between two bin positions.
+func binDist(a, b float64, n int) float64 {
+	d := math.Abs(math.Mod(a-b, float64(n)))
+	if d > float64(n)/2 {
+		d = float64(n) - d
+	}
+	return d
+}
+
+func dedup(pkts []Packet, tol float64) []Packet {
+	var out []Packet
+	for _, p := range pkts {
+		dup := false
+		for i, o := range out {
+			if math.Abs(p.Start-o.Start) < tol {
+				dup = true
+				if p.Quality > o.Quality {
+					out[i] = p
+				}
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

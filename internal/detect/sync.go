@@ -1,0 +1,143 @@
+package detect
+
+import (
+	"tnb/internal/dsp"
+	"tnb/internal/lora"
+)
+
+// Fractional synchronization (paper §7 step 4): a 3-phase search over
+// Q(δt, δf), the coherent preamble peak energy, and Q*(δt, δf), which is Q
+// gated on both the upchirp and downchirp peaks sitting at bin 0.
+//
+// δt is measured in receiver samples and δf in cycles per symbol (the bin
+// unit), both relative to the coarse estimates.
+
+// qResult carries one evaluation of the Q function.
+type qResult struct {
+	energy  float64
+	upBin   int
+	downBin int
+}
+
+// evalQ computes Q at the hypothesis (start+δt, cfo+δf): the complex signal
+// vectors of the 8 preamble upchirps are summed coherently (phase-continuous
+// CFO correction) and likewise the 2 full downchirps; Q is the summed peak
+// energy of both.
+func (d *Detector) evalQ(antennas [][]complex128, start, cfo, dt, df float64) qResult {
+	n := d.p.N()
+	sym := d.p.SymbolSamples()
+	upSum := make([]complex128, n)
+	downSum := make([]complex128, n)
+	s0 := start + dt
+	c := cfo + df
+	for k := 0; k < lora.PreambleUpchirps; k++ {
+		s := s0 + float64(k*sym)
+		if s < 0 {
+			continue
+		}
+		for _, ant := range antennas {
+			v := d.demod.ComplexSignalVector(ant, s, c, k)
+			for i := range upSum {
+				upSum[i] += v[i]
+			}
+		}
+	}
+	for k := 0; k < 2; k++ {
+		s := s0 + float64((10+k)*sym)
+		if s < 0 {
+			continue
+		}
+		for _, ant := range antennas {
+			v := d.complexDownVector(ant, s, c, 10+k)
+			for i := range downSum {
+				downSum[i] += v[i]
+			}
+		}
+	}
+	ub, ue := maxEnergy(upSum)
+	db, de := maxEnergy(downSum)
+	return qResult{energy: ue + de, upBin: ub, downBin: db}
+}
+
+func (d *Detector) complexDownVector(rx []complex128, s, c float64, symIdx int) []complex128 {
+	buf := make([]complex128, d.p.N())
+	d.demod.DechirpDownInto(buf, rx, s, c, symIdx)
+	dsp.MustPlan(len(buf)).Forward(buf)
+	return buf
+}
+
+// maxEnergy returns the bin and squared magnitude of the strongest element.
+func maxEnergy(v []complex128) (int, float64) {
+	bi, best := 0, 0.0
+	for i, x := range v {
+		e := real(x)*real(x) + imag(x)*imag(x)
+		if e > best {
+			best, bi = e, i
+		}
+	}
+	return bi, best
+}
+
+// qStar gates Q on the peak locations: nonzero only when both the up and
+// down summed peaks sit exactly at bin 0 (the paper's "location 1"). A
+// looser gate would let a ±1-cycle CFO alias through, since an integer
+// cycle per symbol preserves inter-symbol coherence and only shifts both
+// peaks by one bin.
+func (d *Detector) qStar(r qResult) float64 {
+	if r.upBin == 0 && r.downBin == 0 {
+		return r.energy
+	}
+	return 0
+}
+
+// fractionalSearch runs the paper's 3-phase search and returns the
+// fractional timing (receiver samples), fractional CFO (cycles/symbol) and
+// the final Q energy.
+func (d *Detector) fractionalSearch(antennas [][]complex128, start, cfo float64) (dt, df, q float64) {
+	// Phase 1: δt = 0, δf from −1 to 0 in steps of 1/16; maximize Q.
+	bestF, bestQ := 0.0, -1.0
+	for i := 0; i <= 16; i++ {
+		f := -1 + float64(i)/16
+		r := d.evalQ(antennas, start, cfo, 0, f)
+		if r.energy > bestQ {
+			bestQ, bestF = r.energy, f
+		}
+	}
+
+	// Phase 2: δt swept at half-sample steps on two lines δf* and δf*+1;
+	// maximize Q*, which kills the ±1-cycle CFO alias. The paper sweeps
+	// δt ∈ [−1, 1]; our coarse stage quantizes the timing to half a chip
+	// (OSF/2 receiver samples), so the sweep covers that full range.
+	halfChip := float64(d.p.OSF) / 2
+	bestT, bestF2, bestQS := 0.0, bestF, -1.0
+	for _, f := range []float64{bestF, bestF + 1} {
+		steps := int(4*halfChip) + 3
+		for i := 0; i < steps; i++ {
+			t := -halfChip - 0.5 + float64(i)/2
+			r := d.evalQ(antennas, start, cfo, t, f)
+			if qs := d.qStar(r); qs > bestQS {
+				bestQS, bestT, bestF2 = qs, t, f
+			}
+		}
+	}
+	if bestQS < 0 {
+		// No hypothesis put the peaks at bin 0; fall back to the phase-1
+		// estimate.
+		return 0, bestF, bestQ
+	}
+
+	// Phase 3: δt from bestT−1/2 to bestT+1/2 in steps of 1/U.
+	u := d.p.OSF
+	finalT, finalQ := bestT, -1.0
+	for i := 0; i <= u; i++ {
+		t := bestT - 0.5 + float64(i)/float64(u)
+		r := d.evalQ(antennas, start, cfo, t, bestF2)
+		if qs := d.qStar(r); qs > finalQ {
+			finalQ, finalT = qs, t
+		}
+	}
+	if finalQ < 0 {
+		return bestT, bestF2, bestQS
+	}
+	return finalT, bestF2, finalQ
+}

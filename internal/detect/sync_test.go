@@ -1,0 +1,111 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tnb/internal/lora"
+	"tnb/internal/trace"
+)
+
+// Properties of the Q/Q* search surface (paper Fig. 8).
+
+func qSurfaceSetup(t *testing.T) (*Detector, [][]complex128, float64, float64) {
+	t.Helper()
+	p := lora.MustParams(8, 4, 125e3, 8)
+	rng := rand.New(rand.NewSource(500))
+	b := trace.NewBuilder(p, 1.0, 1, rng)
+	payload := make([]uint8, 14)
+	start, cfoHz := 25000.0, 1830.0
+	if err := b.AddPacket(0, 0, payload, start, 15, cfoHz, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := b.Build()
+	return NewDetector(p), tr.Antennas, start, cfoHz * p.SymbolDuration()
+}
+
+func TestQPeaksAtTrueParameters(t *testing.T) {
+	d, ants, start, cfo := qSurfaceSetup(t)
+	at := func(dt, df float64) float64 {
+		return d.evalQ(ants, start, cfo, dt, df).energy
+	}
+	center := at(0, 0)
+	// Fractional CFO errors collapse Q (Fig. 8 top: sharp ridges).
+	if v := at(0, 0.5); v > center/10 {
+		t.Errorf("Q at df=0.5 is %g vs center %g", v, center)
+	}
+	if v := at(0, 0.25); v > center/2 {
+		t.Errorf("Q at df=0.25 is %g vs center %g", v, center)
+	}
+	// Chip-scale timing errors reduce Q.
+	if v := at(4, 0); v > 0.7*center {
+		t.Errorf("Q at dt=4 (half chip) is %g vs center %g", v, center)
+	}
+}
+
+func TestQIntegerCFOAliasHasEqualEnergyButShiftedPeaks(t *testing.T) {
+	// The ±1-cycle alias keeps Q's energy (integer cycles preserve
+	// inter-symbol coherence) but moves the peaks off bin 0 — exactly why
+	// Q* gates on the peak location.
+	d, ants, start, cfo := qSurfaceSetup(t)
+	center := d.evalQ(ants, start, cfo, 0, 0)
+	alias := d.evalQ(ants, start, cfo, 0, 1)
+	if alias.energy < 0.9*center.energy {
+		t.Errorf("alias energy %g vs center %g: expected near-equal", alias.energy, center.energy)
+	}
+	if center.upBin != 0 || center.downBin != 0 {
+		t.Errorf("center peaks at (%d, %d), want (0, 0)", center.upBin, center.downBin)
+	}
+	if alias.upBin == 0 && alias.downBin == 0 {
+		t.Error("alias peaks also at bin 0; Q* could not disambiguate")
+	}
+	if d.qStar(center) == 0 {
+		t.Error("Q* zero at the true parameters")
+	}
+	if d.qStar(alias) != 0 {
+		t.Error("Q* nonzero at the alias")
+	}
+}
+
+func TestQTimingCFOTradeoffBreaksOnDownchirps(t *testing.T) {
+	// A (+1 chip, +1 cycle) error keeps upchirp peaks at bin 0 (the +1
+	// chip window delay and the -1 cycle residual cancel) but moves the
+	// downchirp peaks by -2 bins: the up/down combination is what makes
+	// the coarse estimate identifiable.
+	d, ants, start, cfo := qSurfaceSetup(t)
+	p := lora.MustParams(8, 4, 125e3, 8)
+	r := d.evalQ(ants, start+float64(p.OSF), cfo, 0, 1)
+	if r.upBin != 0 {
+		t.Fatalf("compensated up peak at %d, want 0", r.upBin)
+	}
+	if r.downBin == 0 {
+		t.Error("down peak at 0 despite the timing/CFO tradeoff")
+	}
+	if d.qStar(r) != 0 {
+		t.Error("Q* accepted the traded-off hypothesis")
+	}
+}
+
+func TestFractionalSearchConvergesFromCoarseOffsets(t *testing.T) {
+	// From any plausible coarse error (≤ half chip timing, ≤ 1 cycle
+	// CFO), the 3-phase search lands within 1/OSF samples and 1/16 cycle.
+	d, ants, start, cfo := qSurfaceSetup(t)
+	cases := []struct{ dt, df float64 }{
+		{0, 0}, {3.5, 0.4}, {-3.5, -0.4}, {2, -0.9}, {-2, 0.9},
+	}
+	for _, c := range cases {
+		ft, fc, q := d.fractionalSearch(ants, start+c.dt, cfo+c.df)
+		if q <= 0 {
+			t.Fatalf("offset (%g, %g): search found nothing", c.dt, c.df)
+		}
+		gotStart := start + c.dt + ft
+		gotCFO := cfo + c.df + fc
+		if e := math.Abs(gotStart - start); e > 1.0 {
+			t.Errorf("offset (%g, %g): timing error %.3f samples", c.dt, c.df, e)
+		}
+		if e := math.Abs(gotCFO - cfo); e > 1.0/12 {
+			t.Errorf("offset (%g, %g): CFO error %.4f cycles", c.dt, c.df, e)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package diag provides capture diagnostics: a short-time spectrogram and
+// an ASCII waterfall renderer, the quickest way to eyeball chirps,
+// collisions and interference in a trace (the pictures behind the paper's
+// Fig. 4/5 intuition).
+package diag
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tnb/internal/dsp"
+)
+
+// Spectrogram holds |STFT|² of a sample stream: Rows[t][f], with time
+// advancing by Hop samples per row and FFTSize frequency bins per row.
+type Spectrogram struct {
+	FFTSize int
+	Hop     int
+	Rows    [][]float64
+}
+
+// Compute builds a spectrogram with a Hann window. fftSize must be a power
+// of two; hop defaults to fftSize/2 when 0.
+func Compute(samples []complex128, fftSize, hop int) (*Spectrogram, error) {
+	if fftSize < 2 || fftSize&(fftSize-1) != 0 {
+		return nil, fmt.Errorf("diag: fftSize %d is not a power of two", fftSize)
+	}
+	if hop <= 0 {
+		hop = fftSize / 2
+	}
+	plan := dsp.MustPlan(fftSize)
+	window := make([]float64, fftSize)
+	for i := range window {
+		window[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(fftSize-1)))
+	}
+
+	sg := &Spectrogram{FFTSize: fftSize, Hop: hop}
+	buf := make([]complex128, fftSize)
+	for off := 0; off+fftSize <= len(samples); off += hop {
+		for i := 0; i < fftSize; i++ {
+			buf[i] = samples[off+i] * complex(window[i], 0)
+		}
+		plan.Forward(buf)
+		row := make([]float64, fftSize)
+		// FFT-shift so frequency runs -fs/2..fs/2 left to right.
+		for i := 0; i < fftSize; i++ {
+			v := buf[(i+fftSize/2)%fftSize]
+			row[i] = real(v)*real(v) + imag(v)*imag(v)
+		}
+		sg.Rows = append(sg.Rows, row)
+	}
+	return sg, nil
+}
+
+// asciiShades maps increasing power to denser glyphs.
+var asciiShades = []byte(" .:-=+*#%@")
+
+// RenderASCII writes the spectrogram as text: one line per time row,
+// downsampled to width columns, log-scaled over dynamicRangeDB below the
+// peak.
+func (s *Spectrogram) RenderASCII(w io.Writer, width int, dynamicRangeDB float64) error {
+	if width <= 0 {
+		width = 64
+	}
+	if dynamicRangeDB <= 0 {
+		dynamicRangeDB = 40
+	}
+	var peak float64
+	for _, row := range s.Rows {
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var sb strings.Builder
+	for _, row := range s.Rows {
+		sb.Reset()
+		binsPerCol := (len(row) + width - 1) / width
+		for c := 0; c < width; c++ {
+			var m float64
+			for b := c * binsPerCol; b < (c+1)*binsPerCol && b < len(row); b++ {
+				if row[b] > m {
+					m = row[b]
+				}
+			}
+			db := 10 * math.Log10(m/peak+1e-30)
+			frac := 1 + db/dynamicRangeDB // 1 at peak, 0 at -range
+			if frac < 0 {
+				frac = 0
+			}
+			idx := int(frac * float64(len(asciiShades)-1))
+			if idx >= len(asciiShades) {
+				idx = len(asciiShades) - 1
+			}
+			sb.WriteByte(asciiShades[idx])
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package dsp provides the signal-processing primitives used by the LoRa
+// receiver: an iterative radix-2 FFT with cached twiddle factors, complex
+// vector helpers, fractional-delay interpolation and a Gaussian sampler.
+//
+// Everything here is pure Go on top of the standard library. FFT sizes in
+// this repository are always powers of two (2^SF, optionally times the
+// over-sampling factor), so a radix-2 transform is sufficient.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// FFTPlan holds precomputed twiddle factors and the bit-reversal permutation
+// for one transform size. A plan is safe for concurrent use once built.
+type FFTPlan struct {
+	n       int
+	logN    int
+	rev     []int32      // bit-reversal permutation
+	twiddle []complex128 // e^{-2πik/n} for k in [0, n/2)
+}
+
+var (
+	planMu    sync.RWMutex
+	planCache = map[int]*FFTPlan{}
+)
+
+// NewFFTPlan builds (or returns a cached) plan for transforms of length n.
+// n must be a power of two and at least 1.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two", n)
+	}
+	planMu.RLock()
+	p, ok := planCache[n]
+	planMu.RUnlock()
+	if ok {
+		return p, nil
+	}
+
+	p = &FFTPlan{
+		n:       n,
+		logN:    bits.TrailingZeros(uint(n)),
+		rev:     make([]int32, n),
+		twiddle: make([]complex128, n/2),
+	}
+	shift := 32 - p.logN
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse32(uint32(i)) >> uint(shift))
+	}
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+
+	planMu.Lock()
+	planCache[n] = p
+	planMu.Unlock()
+	return p, nil
+}
+
+// MustPlan is NewFFTPlan that panics on invalid sizes. Intended for sizes
+// derived from a SpreadingFactor, which are powers of two by construction.
+func MustPlan(n int) *FFTPlan {
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the in-place forward DFT of x. len(x) must equal the plan
+// size. The transform is unnormalized: Forward followed by Inverse returns
+// the original vector.
+func (p *FFTPlan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n
+// normalization.
+func (p *FFTPlan) Inverse(x []complex128) {
+	p.transform(x, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+func (p *FFTPlan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: FFT input length %d != plan size %d", len(x), n))
+	}
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(p.rev[i])
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for i := start; i < start+half; i++ {
+				w := p.twiddle[k]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				t := w * x[i+half]
+				x[i+half] = x[i] - t
+				x[i] += t
+				k += step
+			}
+		}
+	}
+}
+
+// FFT returns the forward DFT of x in a newly allocated slice, leaving x
+// untouched. len(x) must be a power of two.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	MustPlan(len(x)).Forward(out)
+	return out
+}
+
+// IFFT returns the normalized inverse DFT of x in a newly allocated slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	MustPlan(len(x)).Inverse(out)
+	return out
+}

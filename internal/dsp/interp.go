@@ -1,0 +1,48 @@
+package dsp
+
+// SampleAt linearly interpolates the complex sequence x at the real-valued
+// position pos (in samples). Positions outside [0, len(x)-1] return 0, which
+// models the silence beyond the edges of a capture.
+func SampleAt(x []complex128, pos float64) complex128 {
+	if pos < 0 || len(x) == 0 {
+		return 0
+	}
+	i := int(pos)
+	if i >= len(x)-1 {
+		if i == len(x)-1 && pos == float64(i) {
+			return x[i]
+		}
+		return 0
+	}
+	frac := pos - float64(i)
+	if frac == 0 {
+		return x[i]
+	}
+	a, b := x[i], x[i+1]
+	f := complex(frac, 0)
+	return a + (b-a)*f
+}
+
+// Resample fills dst[k] with the interpolated value of x at
+// start + k*step. It is the workhorse of the decimating dechirper: step is
+// the over-sampling factor, start the (fractional) symbol boundary.
+func Resample(dst []complex128, x []complex128, start, step float64) {
+	pos := start
+	n := len(x)
+	for k := range dst {
+		// Inline the common fast path: integral position strictly inside x.
+		i := int(pos)
+		if pos >= 0 && i < n-1 {
+			frac := pos - float64(i)
+			if frac == 0 {
+				dst[k] = x[i]
+			} else {
+				a, b := x[i], x[i+1]
+				dst[k] = a + (b-a)*complex(frac, 0)
+			}
+		} else {
+			dst[k] = SampleAt(x, pos)
+		}
+		pos += step
+	}
+}

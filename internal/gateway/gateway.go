@@ -1,0 +1,266 @@
+// Package gateway provides the network front-end of the TnB receiver: a
+// TCP server that accepts raw int16-interleaved IQ sample streams (the
+// USRP wire layout) and emits one JSON line per decoded packet on the same
+// connection. It is the glue a deployment would run next to an SDR.
+//
+// Protocol: the client first sends a single JSON header line declaring the
+// radio parameters, then streams raw IQ bytes. The server answers with
+// JSON lines (Report) as packets decode, and closes after the client
+// half-closes and the final flush completes.
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"tnb/internal/core"
+	"tnb/internal/lora"
+	"tnb/internal/stream"
+)
+
+// Hello is the client's opening line.
+type Hello struct {
+	SF        int     `json:"sf"`
+	CR        int     `json:"cr"` // used for re-encoding; header decides per packet
+	Bandwidth float64 `json:"bandwidth_hz,omitempty"`
+	OSF       int     `json:"osf,omitempty"`
+	UseBEC    *bool   `json:"use_bec,omitempty"` // default true
+}
+
+// Report is one decoded packet, emitted as a JSON line.
+type Report struct {
+	Payload    []byte  `json:"payload"`
+	PayloadLen int     `json:"payload_len"`
+	CR         int     `json:"cr"`
+	AbsStart   float64 `json:"abs_start_sample"`
+	CFOHz      float64 `json:"cfo_hz"`
+	SNRdB      float64 `json:"snr_db"`
+	Pass       int     `json:"pass"`
+	Rescued    int     `json:"rescued_codewords"`
+}
+
+// Server decodes LoRa IQ streams for its clients.
+type Server struct {
+	// Logf receives connection-level diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// Serve accepts connections on ln until the context is canceled or the
+// listener fails. It blocks; use Shutdown or cancel the context to stop.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// handle runs one client connection.
+func (s *Server) handle(conn net.Conn) error {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	var hello Hello
+	if err := json.Unmarshal(line, &hello); err != nil {
+		return fmt.Errorf("parsing hello: %w", err)
+	}
+	params, err := lora.NewParams(hello.SF, orDefault(hello.CR, 4), hello.Bandwidth, hello.OSF)
+	if err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+		bw.Flush()
+		return err
+	}
+	useBEC := hello.UseBEC == nil || *hello.UseBEC
+
+	st, err := stream.New(stream.Config{
+		Receiver: core.Config{Params: params, UseBEC: useBEC},
+	})
+	if err != nil {
+		return err
+	}
+	s.logf("conn %s: %v BEC=%v", conn.RemoteAddr(), params, useBEC)
+
+	emit := func(ds []stream.Decoded) error {
+		for _, d := range ds {
+			if err := enc.Encode(toReport(d, params)); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+
+	// Read raw IQ: 4 bytes per sample (int16 I, int16 Q, little endian).
+	const chunkSamples = 1 << 16
+	raw := make([]byte, 4*chunkSamples)
+	samples := make([]complex128, 0, chunkSamples)
+	for {
+		n, err := io.ReadFull(br, raw)
+		if n > 0 {
+			n -= n % 4
+			samples = samples[:0]
+			for i := 0; i < n; i += 4 {
+				re := int16(binary.LittleEndian.Uint16(raw[i : i+2]))
+				im := int16(binary.LittleEndian.Uint16(raw[i+2 : i+4]))
+				samples = append(samples, complex(float64(re)/4096, float64(im)/4096))
+			}
+			if err := emit(st.Feed(samples)); err != nil {
+				return err
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return emit(st.Flush())
+			}
+			return err
+		}
+	}
+}
+
+func toReport(d stream.Decoded, p lora.Params) Report {
+	return Report{
+		Payload:    d.Payload,
+		PayloadLen: d.Header.PayloadLen,
+		CR:         d.Header.CR,
+		AbsStart:   d.AbsStart,
+		CFOHz:      d.CFOCycles / p.SymbolDuration(),
+		SNRdB:      d.SNRdB,
+		Pass:       d.Pass,
+		Rescued:    d.Rescued,
+	}
+}
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// ListenAndServe listens on addr and serves until the context ends.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("tnb gateway listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}
+
+// Client streams IQ samples to a gateway and collects reports.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	dec  *json.Decoder
+}
+
+// Dial connects to a gateway and sends the hello line.
+func Dial(addr string, hello Hello) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, bw: bufio.NewWriter(conn), dec: json.NewDecoder(conn)}
+	hb, err := json.Marshal(hello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	hb = append(hb, '\n')
+	if _, err := c.bw.Write(hb); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, c.bw.Flush()
+}
+
+// Send streams samples as int16 IQ.
+func (c *Client) Send(samples []complex128) error {
+	var quad [4]byte
+	for _, v := range samples {
+		binary.LittleEndian.PutUint16(quad[0:2], uint16(clampI16(real(v)*4096)))
+		binary.LittleEndian.PutUint16(quad[2:4], uint16(clampI16(imag(v)*4096)))
+		if _, err := c.bw.Write(quad[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish flushes, half-closes the write side and drains all reports until
+// the server closes the connection.
+func (c *Client) Finish() ([]Report, error) {
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return nil, err
+		}
+	}
+	var out []Report
+	for {
+		var r Report
+		if err := c.dec.Decode(&r); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, c.conn.Close()
+}
+
+func clampI16(v float64) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}

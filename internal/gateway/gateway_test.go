@@ -1,0 +1,197 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"tnb/internal/lora"
+	"tnb/internal/trace"
+)
+
+func startServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &Server{Logf: t.Logf}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	return ln.Addr().String(), func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	}
+}
+
+func buildGatewayTrace(t *testing.T, seed int64, n int) (*trace.Trace, []trace.TxRecord, lora.Params) {
+	t.Helper()
+	p := lora.MustParams(8, 4, 125e3, 8)
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder(p, 2.0, 1, rng)
+	starts := b.ScheduleUniform(n, 14)
+	for i, s := range starts {
+		payload := make([]uint8, 14)
+		rng.Read(payload)
+		if err := b.AddPacket(i, 0, payload, s, 10, -3000+float64(i)*1500, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, recs := b.Build()
+	return tr, recs, p
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	tr, recs, p := buildGatewayTrace(t, 900, 4)
+	c, err := Dial(addr, Hello{SF: p.SF, CR: p.CR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream in chunks, as a radio would.
+	samples := tr.Antennas[0]
+	for off := 0; off < len(samples); off += 123_457 {
+		end := off + 123_457
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if err := c.Send(samples[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := 0
+	for _, rec := range recs {
+		for _, r := range reports {
+			if bytes.Equal(r.Payload, rec.Payload) {
+				matched++
+				if d := r.AbsStart - rec.StartSample; d > 3 || d < -3 {
+					t.Errorf("abs start %.1f vs truth %.1f", r.AbsStart, rec.StartSample)
+				}
+				break
+			}
+		}
+	}
+	if matched < len(recs)-1 {
+		t.Errorf("gateway decoded %d/%d packets", matched, len(recs))
+	}
+	for _, r := range reports {
+		if r.PayloadLen != 14 || r.CR != 4 {
+			t.Errorf("report header fields: %+v", r)
+		}
+	}
+}
+
+func TestGatewayRejectsBadHello(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"sf": 99}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var resp map[string]string
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("no error response: %v", err)
+	}
+	if resp["error"] == "" {
+		t.Errorf("expected error message, got %v", resp)
+	}
+}
+
+func TestGatewayGarbageHello(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("not json at all\n"))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Log("server kept the connection open briefly; acceptable")
+	}
+}
+
+func TestGatewayMultipleClients(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	type result struct {
+		reports []Report
+		err     error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed int64) {
+			tr, _, p := buildGatewayTrace(t, seed, 2)
+			c, err := Dial(addr, Hello{SF: p.SF, CR: p.CR})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			if err := c.Send(tr.Antennas[0]); err != nil {
+				results <- result{err: err}
+				return
+			}
+			reports, err := c.Finish()
+			results <- result{reports: reports, err: err}
+		}(901 + int64(i))
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.reports) == 0 {
+			t.Error("client received no reports")
+		}
+	}
+}
+
+func TestGatewayNoBEC(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	tr, _, p := buildGatewayTrace(t, 903, 2)
+	noBEC := false
+	c, err := Dial(addr, Hello{SF: p.SF, CR: p.CR, UseBEC: &noBEC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(tr.Antennas[0]); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Rescued != 0 {
+			t.Error("rescued codewords reported without BEC")
+		}
+	}
+}

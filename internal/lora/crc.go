@@ -1,0 +1,43 @@
+package lora
+
+// Packet-level CRC. LoRa appends a 16-bit CRC over the payload; BEC relies
+// on it to select the correct repaired packet among candidates (paper §6.9).
+// We use CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), the variant used by
+// Semtech radios.
+
+const crcBytes = 2
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum of data.
+func CRC16(data []uint8) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// AppendCRC returns payload with its 16-bit CRC appended big-endian.
+func AppendCRC(payload []uint8) []uint8 {
+	crc := CRC16(payload)
+	out := make([]uint8, 0, len(payload)+crcBytes)
+	out = append(out, payload...)
+	return append(out, uint8(crc>>8), uint8(crc))
+}
+
+// CheckCRC verifies and strips the trailing CRC. It returns the payload and
+// true when the CRC matches.
+func CheckCRC(data []uint8) ([]uint8, bool) {
+	if len(data) < crcBytes {
+		return nil, false
+	}
+	payload := data[:len(data)-crcBytes]
+	want := uint16(data[len(data)-2])<<8 | uint16(data[len(data)-1])
+	return payload, CRC16(payload) == want
+}

@@ -1,0 +1,19 @@
+package lora
+
+// Gray mapping. LoRa applies Gray coding between interleaver bits and chirp
+// shifts so that a ±1 demodulation bin error flips a single bit of the
+// symbol's bit group. The receiver computes bits = Gray(bin); the
+// transmitter therefore sends bin = GrayInverse(bits).
+
+// Gray returns the Gray code of v: v XOR (v >> 1). Adjacent integers map to
+// words differing in exactly one bit.
+func Gray(v uint32) uint32 { return v ^ v>>1 }
+
+// GrayInverse inverts Gray: GrayInverse(Gray(v)) == v.
+func GrayInverse(g uint32) uint32 {
+	v := g
+	for shift := uint(1); shift < 32; shift <<= 1 {
+		v ^= v >> shift
+	}
+	return v
+}

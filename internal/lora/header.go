@@ -1,0 +1,90 @@
+package lora
+
+import "fmt"
+
+// Explicit PHY header. The header occupies the first headerNibbles codeword
+// rows of the reduced-rate first block and announces the payload length and
+// coding rate of the remaining blocks, protected by a 5-bit checksum
+// (paper §3: "The PHY header consists of 8 symbols and uses CR 4").
+const headerNibbles = 5
+
+// Header is the decoded contents of the explicit PHY header.
+type Header struct {
+	PayloadLen int  // payload bytes, excluding the 16-bit CRC
+	CR         int  // coding rate of the payload blocks
+	HasCRC     bool // payload CRC present (always true in this system)
+}
+
+// headerChecksum computes the 5-bit checksum over the 12 header content
+// bits (8 length bits, 3 CR bits, 1 CRC flag). Each checksum bit is the
+// parity of a fixed bit mask, mirroring the structure of the Semtech
+// header check.
+func headerChecksum(lenByte uint8, cr int, hasCRC bool) uint8 {
+	bits := uint16(lenByte)<<4 | uint16(cr&7)<<1 | b2u16(hasCRC)
+	masks := [5]uint16{
+		0b111100000000, // c4
+		0b000011110000, // c3
+		0b100010001000, // c2
+		0b010001000100, // c1
+		0b001000100011, // c0
+	}
+	var chk uint8
+	for i, m := range masks {
+		chk |= parity16(bits&m) << uint(4-i)
+	}
+	return chk
+}
+
+func b2u16(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func parity16(x uint16) uint8 {
+	var p uint8
+	for x != 0 {
+		x &= x - 1
+		p ^= 1
+	}
+	return p
+}
+
+// EncodeHeader returns the 5 header nibbles for the given header fields.
+func EncodeHeader(h Header) ([]uint8, error) {
+	if h.PayloadLen < 0 || h.PayloadLen > 255 {
+		return nil, fmt.Errorf("lora: payload length %d out of range", h.PayloadLen)
+	}
+	if h.CR < 1 || h.CR > 4 {
+		return nil, fmt.Errorf("lora: header CR %d out of range", h.CR)
+	}
+	lenByte := uint8(h.PayloadLen)
+	chk := headerChecksum(lenByte, h.CR, h.HasCRC)
+	flags := uint8(h.CR)<<1 | uint8(b2u16(h.HasCRC))
+	return []uint8{
+		lenByte >> 4,
+		lenByte & 0x0F,
+		flags,
+		chk >> 4,   // c4 in bit 0 of the nibble
+		chk & 0x0F, // c3..c0
+	}, nil
+}
+
+// DecodeHeader parses and validates 5 header nibbles. It returns the header
+// and true when the checksum matches.
+func DecodeHeader(nibbles []uint8) (Header, bool) {
+	if len(nibbles) < headerNibbles {
+		return Header{}, false
+	}
+	lenByte := nibbles[0]<<4 | nibbles[1]&0x0F
+	flags := nibbles[2]
+	cr := int(flags >> 1 & 7)
+	hasCRC := flags&1 != 0
+	gotChk := (nibbles[3]&0x01)<<4 | nibbles[4]&0x0F
+	h := Header{PayloadLen: int(lenByte), CR: cr, HasCRC: hasCRC}
+	if cr < 1 || cr > 4 {
+		return h, false
+	}
+	return h, headerChecksum(lenByte, cr, hasCRC) == gotChk
+}

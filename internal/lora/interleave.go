@@ -1,0 +1,97 @@
+package lora
+
+// Diagonal interleaving. A code block is a rows × cols bit matrix where each
+// row is one (punctured) codeword and each column holds the bits carried by
+// one symbol (paper Fig. 2). LoRa additionally rotates column j by j rows so
+// that a burst hitting one symbol spreads across codeword bit positions; the
+// column ↔ symbol correspondence that BEC relies on is preserved.
+
+// Block is a code block: Bits[row][col], rows codewords of cols bits each.
+type Block struct {
+	Rows, Cols int
+	Bits       [][]uint8 // values 0 or 1
+}
+
+// NewBlock allocates a zeroed rows×cols block backed by one allocation.
+func NewBlock(rows, cols int) *Block {
+	flat := make([]uint8, rows*cols)
+	bits := make([][]uint8, rows)
+	for r := range bits {
+		bits[r], flat = flat[:cols], flat[cols:]
+	}
+	return &Block{Rows: rows, Cols: cols, Bits: bits}
+}
+
+// Clone returns a deep copy of the block.
+func (b *Block) Clone() *Block {
+	c := NewBlock(b.Rows, b.Cols)
+	for r := range b.Bits {
+		copy(c.Bits[r], b.Bits[r])
+	}
+	return c
+}
+
+// Equal reports whether two blocks have identical dimensions and bits.
+func (b *Block) Equal(o *Block) bool {
+	if b.Rows != o.Rows || b.Cols != o.Cols {
+		return false
+	}
+	for r := range b.Bits {
+		for c := range b.Bits[r] {
+			if b.Bits[r][c] != o.Bits[r][c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetRowCodeword stores the left-aligned codeword cw (bit 7 first) into row
+// r, taking the first Cols bits.
+func (b *Block) SetRowCodeword(r int, cw uint8) {
+	for c := 0; c < b.Cols; c++ {
+		b.Bits[r][c] = cw >> uint(7-c) & 1
+	}
+}
+
+// RowCodeword returns row r packed left-aligned into a uint8 (bit 7 = column
+// 1).
+func (b *Block) RowCodeword(r int) uint8 {
+	var cw uint8
+	for c := 0; c < b.Cols; c++ {
+		cw |= b.Bits[r][c] << uint(7-c)
+	}
+	return cw
+}
+
+// Interleave converts the block into symbol bit-groups. Symbol j's value is
+// built from column j with the diagonal rotation: bit of row i goes to
+// symbol bit position (i + j) mod Rows, with row 0 mapping to the most
+// significant of the Rows bits. The returned slice has Cols entries, each in
+// [0, 2^Rows).
+func (b *Block) Interleave() []uint32 {
+	syms := make([]uint32, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		var v uint32
+		for i := 0; i < b.Rows; i++ {
+			pos := (i + j) % b.Rows
+			if b.Bits[i][j] != 0 {
+				v |= 1 << uint(b.Rows-1-pos)
+			}
+		}
+		syms[j] = v
+	}
+	return syms
+}
+
+// DeinterleaveInto fills the block from the symbol bit-groups, inverting
+// Interleave. len(syms) must equal Cols.
+func (b *Block) DeinterleaveInto(syms []uint32) {
+	for j := 0; j < b.Cols && j < len(syms); j++ {
+		v := syms[j]
+		for i := 0; i < b.Rows; i++ {
+			pos := (i + j) % b.Rows
+			b.Bits[i][j] = uint8(v >> uint(b.Rows-1-pos) & 1)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package lorawan
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MType is the LoRaWAN message type (MHDR bits 7..5).
+type MType uint8
+
+// LoRaWAN 1.0 message types.
+const (
+	JoinRequest MType = iota
+	JoinAccept
+	UnconfirmedDataUp
+	UnconfirmedDataDown
+	ConfirmedDataUp
+	ConfirmedDataDown
+	RFU
+	Proprietary
+)
+
+// String names the message type.
+func (m MType) String() string {
+	names := []string{
+		"JoinRequest", "JoinAccept", "UnconfirmedDataUp", "UnconfirmedDataDown",
+		"ConfirmedDataUp", "ConfirmedDataDown", "RFU", "Proprietary",
+	}
+	if int(m) < len(names) {
+		return names[m]
+	}
+	return fmt.Sprintf("MType(%d)", uint8(m))
+}
+
+// IsUplink reports whether the type travels node → gateway.
+func (m MType) IsUplink() bool {
+	return m == JoinRequest || m == UnconfirmedDataUp || m == ConfirmedDataUp
+}
+
+// DevAddr is the 32-bit device address.
+type DevAddr uint32
+
+// String formats the address in the conventional hex form.
+func (a DevAddr) String() string { return fmt.Sprintf("%08X", uint32(a)) }
+
+// FCtrl is the frame control octet.
+type FCtrl struct {
+	ADR       bool
+	ADRACKReq bool
+	ACK       bool
+	FPending  bool
+	FOptsLen  uint8 // 0..15
+}
+
+func (f FCtrl) octet() uint8 {
+	var b uint8
+	if f.ADR {
+		b |= 0x80
+	}
+	if f.ADRACKReq {
+		b |= 0x40
+	}
+	if f.ACK {
+		b |= 0x20
+	}
+	if f.FPending {
+		b |= 0x10
+	}
+	return b | f.FOptsLen&0x0F
+}
+
+func fctrlFrom(b uint8) FCtrl {
+	return FCtrl{
+		ADR:       b&0x80 != 0,
+		ADRACKReq: b&0x40 != 0,
+		ACK:       b&0x20 != 0,
+		FPending:  b&0x10 != 0,
+		FOptsLen:  b & 0x0F,
+	}
+}
+
+// DataFrame is a LoRaWAN data frame (MType *DataUp / *DataDown).
+type DataFrame struct {
+	MType      MType
+	DevAddr    DevAddr
+	FCtrl      FCtrl
+	FCnt       uint16
+	FOpts      []byte
+	FPort      uint8  // meaningful only when FRMPayload is present
+	HasPort    bool   // whether FPort (and a payload) is present
+	FRMPayload []byte // encrypted on the wire; plaintext in memory
+}
+
+// Errors returned by the frame codec.
+var (
+	ErrTooShort = errors.New("lorawan: frame too short")
+	ErrBadMIC   = errors.New("lorawan: MIC verification failed")
+	ErrBadMType = errors.New("lorawan: not a data frame")
+)
+
+const micLen = 4
+
+// Marshal serializes the frame, encrypting FRMPayload with appSKey and
+// appending the MIC computed under nwkSKey. Both keys are 16 bytes.
+func (f *DataFrame) Marshal(nwkSKey, appSKey []byte) ([]byte, error) {
+	if f.MType != UnconfirmedDataUp && f.MType != UnconfirmedDataDown &&
+		f.MType != ConfirmedDataUp && f.MType != ConfirmedDataDown {
+		return nil, ErrBadMType
+	}
+	if len(f.FOpts) > 15 {
+		return nil, fmt.Errorf("lorawan: FOpts too long (%d)", len(f.FOpts))
+	}
+	f.FCtrl.FOptsLen = uint8(len(f.FOpts))
+
+	buf := make([]byte, 0, 12+len(f.FOpts)+1+len(f.FRMPayload)+micLen)
+	buf = append(buf, uint8(f.MType)<<5)
+	var addr [4]byte
+	binary.LittleEndian.PutUint32(addr[:], uint32(f.DevAddr))
+	buf = append(buf, addr[:]...)
+	buf = append(buf, f.FCtrl.octet())
+	var fcnt [2]byte
+	binary.LittleEndian.PutUint16(fcnt[:], f.FCnt)
+	buf = append(buf, fcnt[:]...)
+	buf = append(buf, f.FOpts...)
+	if f.HasPort {
+		buf = append(buf, f.FPort)
+		enc, err := cryptPayload(appSKey, f.DevAddr, uint32(f.FCnt), f.MType.IsUplink(), f.FRMPayload)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, enc...)
+	}
+
+	mic, err := computeMIC(nwkSKey, f.DevAddr, uint32(f.FCnt), f.MType.IsUplink(), buf)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, mic...), nil
+}
+
+// ParseDataFrame parses and verifies a data frame, decrypting FRMPayload.
+func ParseDataFrame(wire, nwkSKey, appSKey []byte) (*DataFrame, error) {
+	if len(wire) < 1+7+micLen {
+		return nil, ErrTooShort
+	}
+	mtype := MType(wire[0] >> 5)
+	switch mtype {
+	case UnconfirmedDataUp, UnconfirmedDataDown, ConfirmedDataUp, ConfirmedDataDown:
+	default:
+		return nil, ErrBadMType
+	}
+	body := wire[:len(wire)-micLen]
+	mic := wire[len(wire)-micLen:]
+
+	f := &DataFrame{MType: mtype}
+	f.DevAddr = DevAddr(binary.LittleEndian.Uint32(wire[1:5]))
+	f.FCtrl = fctrlFrom(wire[5])
+	f.FCnt = binary.LittleEndian.Uint16(wire[6:8])
+
+	want, err := computeMIC(nwkSKey, f.DevAddr, uint32(f.FCnt), mtype.IsUplink(), body)
+	if err != nil {
+		return nil, err
+	}
+	if !constantTimeEqual(mic, want) {
+		return nil, ErrBadMIC
+	}
+
+	off := 8
+	if int(f.FCtrl.FOptsLen) > len(body)-off {
+		return nil, ErrTooShort
+	}
+	f.FOpts = append([]byte(nil), body[off:off+int(f.FCtrl.FOptsLen)]...)
+	off += int(f.FCtrl.FOptsLen)
+	if off < len(body) {
+		f.HasPort = true
+		f.FPort = body[off]
+		off++
+		plain, err := cryptPayload(appSKey, f.DevAddr, uint32(f.FCnt), mtype.IsUplink(), body[off:])
+		if err != nil {
+			return nil, err
+		}
+		f.FRMPayload = plain
+	}
+	return f, nil
+}
+
+// computeMIC builds the LoRaWAN B0 block and returns the first 4 bytes of
+// the CMAC over B0 || msg.
+func computeMIC(nwkSKey []byte, addr DevAddr, fcnt uint32, uplink bool, msg []byte) ([]byte, error) {
+	b0 := make([]byte, blockSize, blockSize+len(msg))
+	b0[0] = 0x49
+	if !uplink {
+		b0[5] = 1
+	}
+	binary.LittleEndian.PutUint32(b0[6:10], uint32(addr))
+	binary.LittleEndian.PutUint32(b0[10:14], fcnt)
+	b0[15] = uint8(len(msg))
+	mac, err := CMAC(nwkSKey, append(b0, msg...))
+	if err != nil {
+		return nil, err
+	}
+	return mac[:micLen], nil
+}
+
+// cryptPayload applies the LoRaWAN counter-mode cipher (spec §4.3.3); it is
+// its own inverse.
+func cryptPayload(appSKey []byte, addr DevAddr, fcnt uint32, uplink bool, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(appSKey)
+	if err != nil {
+		return nil, fmt.Errorf("lorawan: %w", err)
+	}
+	out := make([]byte, len(data))
+	var a, s [blockSize]byte
+	a[0] = 0x01
+	if !uplink {
+		a[5] = 1
+	}
+	binary.LittleEndian.PutUint32(a[6:10], uint32(addr))
+	binary.LittleEndian.PutUint32(a[10:14], fcnt)
+	for i := 0; i < len(data); i += blockSize {
+		a[15] = uint8(i/blockSize + 1)
+		block.Encrypt(s[:], a[:])
+		for j := 0; j < blockSize && i+j < len(data); j++ {
+			out[i+j] = data[i+j] ^ s[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package lorawan
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Over-the-air activation (LoRaWAN 1.0 §6.2): the join request/accept
+// exchange and the session key derivation.
+
+// EUI is a 64-bit extended unique identifier.
+type EUI uint64
+
+// String formats the EUI as 16 hex digits.
+func (e EUI) String() string { return fmt.Sprintf("%016X", uint64(e)) }
+
+// JoinRequestFrame is the device's join request.
+type JoinRequestFrame struct {
+	AppEUI   EUI
+	DevEUI   EUI
+	DevNonce uint16
+}
+
+// Marshal serializes the join request with its MIC under the AppKey.
+func (j *JoinRequestFrame) Marshal(appKey []byte) ([]byte, error) {
+	buf := make([]byte, 0, 1+8+8+2+micLen)
+	buf = append(buf, uint8(JoinRequest)<<5)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(j.AppEUI))
+	buf = append(buf, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], uint64(j.DevEUI))
+	buf = append(buf, b8[:]...)
+	var b2 [2]byte
+	binary.LittleEndian.PutUint16(b2[:], j.DevNonce)
+	buf = append(buf, b2[:]...)
+	mac, err := CMAC(appKey, buf)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, mac[:micLen]...), nil
+}
+
+// ParseJoinRequest parses and verifies a join request.
+func ParseJoinRequest(wire, appKey []byte) (*JoinRequestFrame, error) {
+	if len(wire) != 1+8+8+2+micLen {
+		return nil, ErrTooShort
+	}
+	if MType(wire[0]>>5) != JoinRequest {
+		return nil, ErrBadMType
+	}
+	body := wire[:len(wire)-micLen]
+	mac, err := CMAC(appKey, body)
+	if err != nil {
+		return nil, err
+	}
+	if !constantTimeEqual(wire[len(wire)-micLen:], mac[:micLen]) {
+		return nil, ErrBadMIC
+	}
+	return &JoinRequestFrame{
+		AppEUI:   EUI(binary.LittleEndian.Uint64(wire[1:9])),
+		DevEUI:   EUI(binary.LittleEndian.Uint64(wire[9:17])),
+		DevNonce: binary.LittleEndian.Uint16(wire[17:19]),
+	}, nil
+}
+
+// JoinAcceptFrame is the network's join accept.
+type JoinAcceptFrame struct {
+	AppNonce   uint32 // 24 bits used
+	NetID      uint32 // 24 bits used
+	DevAddr    DevAddr
+	DLSettings uint8
+	RxDelay    uint8
+}
+
+// Marshal serializes the join accept: the content is MIC'd and then
+// AES-*decrypted* under the AppKey (so the constrained device only ever
+// needs the encrypt primitive, per the specification).
+func (j *JoinAcceptFrame) Marshal(appKey []byte) ([]byte, error) {
+	content := make([]byte, 0, 12)
+	content = append(content, uint8(j.AppNonce), uint8(j.AppNonce>>8), uint8(j.AppNonce>>16))
+	content = append(content, uint8(j.NetID), uint8(j.NetID>>8), uint8(j.NetID>>16))
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(j.DevAddr))
+	content = append(content, b4[:]...)
+	content = append(content, j.DLSettings, j.RxDelay)
+
+	mhdr := uint8(JoinAccept) << 5
+	mac, err := CMAC(appKey, append([]byte{mhdr}, content...))
+	if err != nil {
+		return nil, err
+	}
+	plain := append(content, mac[:micLen]...)
+	if len(plain)%blockSize != 0 {
+		return nil, fmt.Errorf("lorawan: join accept content %d bytes, want multiple of 16", len(plain))
+	}
+	block, err := aes.NewCipher(appKey)
+	if err != nil {
+		return nil, err
+	}
+	enc := make([]byte, len(plain))
+	for i := 0; i < len(plain); i += blockSize {
+		block.Decrypt(enc[i:i+blockSize], plain[i:i+blockSize])
+	}
+	return append([]byte{mhdr}, enc...), nil
+}
+
+// ParseJoinAccept decrypts (by encrypting, as the device does), verifies
+// and parses a join accept.
+func ParseJoinAccept(wire, appKey []byte) (*JoinAcceptFrame, error) {
+	if len(wire) != 1+16 {
+		return nil, ErrTooShort
+	}
+	if MType(wire[0]>>5) != JoinAccept {
+		return nil, ErrBadMType
+	}
+	block, err := aes.NewCipher(appKey)
+	if err != nil {
+		return nil, err
+	}
+	plain := make([]byte, 16)
+	block.Encrypt(plain, wire[1:])
+
+	content, mic := plain[:12], plain[12:]
+	mac, err := CMAC(appKey, append([]byte{wire[0]}, content...))
+	if err != nil {
+		return nil, err
+	}
+	if !constantTimeEqual(mic, mac[:micLen]) {
+		return nil, ErrBadMIC
+	}
+	return &JoinAcceptFrame{
+		AppNonce:   uint32(content[0]) | uint32(content[1])<<8 | uint32(content[2])<<16,
+		NetID:      uint32(content[3]) | uint32(content[4])<<8 | uint32(content[5])<<16,
+		DevAddr:    DevAddr(binary.LittleEndian.Uint32(content[6:10])),
+		DLSettings: content[10],
+		RxDelay:    content[11],
+	}, nil
+}
+
+// DeriveSessionKeys computes NwkSKey and AppSKey from the join exchange
+// (LoRaWAN 1.0 §6.2.5).
+func DeriveSessionKeys(appKey []byte, appNonce, netID uint32, devNonce uint16) (nwkSKey, appSKey []byte, err error) {
+	block, err := aes.NewCipher(appKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	derive := func(tag uint8) []byte {
+		var in [blockSize]byte
+		in[0] = tag
+		in[1], in[2], in[3] = uint8(appNonce), uint8(appNonce>>8), uint8(appNonce>>16)
+		in[4], in[5], in[6] = uint8(netID), uint8(netID>>8), uint8(netID>>16)
+		binary.LittleEndian.PutUint16(in[7:9], devNonce)
+		out := make([]byte, blockSize)
+		block.Encrypt(out, in[:])
+		return out
+	}
+	return derive(0x01), derive(0x02), nil
+}

@@ -1,0 +1,225 @@
+package lorawan
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4493 test vectors for AES-CMAC.
+func TestCMACRFC4493Vectors(t *testing.T) {
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	msg, _ := hex.DecodeString(
+		"6bc1bee22e409f96e93d7e117393172a" +
+			"ae2d8a571e03ac9c9eb76fac45af8e51" +
+			"30c81c46a35ce411e5fbc1191a0a52ef" +
+			"f69f2445df4f9b17ad2b417be66c3710")
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "bb1d6929e95937287fa37d129b756746"},
+		{16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{40, "dfa66747de9ae63030ca32611497c827"},
+		{64, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	for _, c := range cases {
+		mac, err := CMAC(key, msg[:c.n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hex.EncodeToString(mac[:]); got != c.want {
+			t.Errorf("len %d: %s, want %s", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCMACBadKey(t *testing.T) {
+	if _, err := CMAC([]byte{1, 2, 3}, nil); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func testKeys() (nwk, app []byte) {
+	nwk = bytes.Repeat([]byte{0x2B}, 16)
+	app = bytes.Repeat([]byte{0x7E}, 16)
+	return
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	nwk, app := testKeys()
+	f := &DataFrame{
+		MType:      UnconfirmedDataUp,
+		DevAddr:    0x26011F2A,
+		FCtrl:      FCtrl{ADR: true},
+		FCnt:       1234,
+		FOpts:      []byte{0x02},
+		HasPort:    true,
+		FPort:      10,
+		FRMPayload: []byte("hello lorawan"),
+	}
+	wire, err := f.Marshal(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDataFrame(wire, nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DevAddr != f.DevAddr || got.FCnt != f.FCnt || got.FPort != f.FPort {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !got.FCtrl.ADR || got.FCtrl.ACK {
+		t.Errorf("FCtrl mismatch: %+v", got.FCtrl)
+	}
+	if !bytes.Equal(got.FOpts, f.FOpts) {
+		t.Errorf("FOpts mismatch")
+	}
+	if !bytes.Equal(got.FRMPayload, f.FRMPayload) {
+		t.Errorf("payload %q, want %q", got.FRMPayload, f.FRMPayload)
+	}
+}
+
+func TestDataFramePayloadEncryptedOnWire(t *testing.T) {
+	nwk, app := testKeys()
+	payload := []byte("super secret payload bytes")
+	f := &DataFrame{
+		MType: UnconfirmedDataUp, DevAddr: 1, FCnt: 7,
+		HasPort: true, FPort: 1, FRMPayload: payload,
+	}
+	wire, err := f.Marshal(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wire, payload) {
+		t.Error("plaintext payload leaked onto the wire")
+	}
+}
+
+func TestDataFrameMICDetectsTampering(t *testing.T) {
+	nwk, app := testKeys()
+	f := &DataFrame{
+		MType: ConfirmedDataUp, DevAddr: 0xA1B2C3D4, FCnt: 99,
+		HasPort: true, FPort: 2, FRMPayload: []byte{1, 2, 3, 4},
+	}
+	wire, err := f.Marshal(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x01
+		if _, err := ParseDataFrame(bad, nwk, app); err == nil {
+			t.Errorf("tampering at byte %d undetected", i)
+		}
+	}
+}
+
+func TestDataFrameWrongKeyFails(t *testing.T) {
+	nwk, app := testKeys()
+	f := &DataFrame{MType: UnconfirmedDataUp, DevAddr: 5, FCnt: 1, HasPort: true, FPort: 3, FRMPayload: []byte("x")}
+	wire, err := f.Marshal(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := bytes.Repeat([]byte{0xFF}, 16)
+	if _, err := ParseDataFrame(wire, wrong, app); err != ErrBadMIC {
+		t.Errorf("wrong NwkSKey: err = %v, want ErrBadMIC", err)
+	}
+}
+
+func TestDataFrameNoPayload(t *testing.T) {
+	nwk, app := testKeys()
+	f := &DataFrame{MType: UnconfirmedDataUp, DevAddr: 9, FCnt: 3}
+	wire, err := f.Marshal(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDataFrame(wire, nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasPort || len(got.FRMPayload) != 0 {
+		t.Errorf("unexpected payload: %+v", got)
+	}
+}
+
+func TestDataFrameDownlinkDirectionBit(t *testing.T) {
+	nwk, app := testKeys()
+	f := &DataFrame{MType: UnconfirmedDataDown, DevAddr: 77, FCnt: 5, HasPort: true, FPort: 1, FRMPayload: []byte("down")}
+	wire, err := f.Marshal(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDataFrame(wire, nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.FRMPayload, []byte("down")) {
+		t.Error("downlink payload mismatch")
+	}
+	// An uplink parse of the same bytes must fail the MIC (direction is
+	// part of B0).
+	wire[0] = uint8(UnconfirmedDataUp) << 5
+	if _, err := ParseDataFrame(wire, nwk, app); err != ErrBadMIC {
+		t.Errorf("direction flip: err = %v, want ErrBadMIC", err)
+	}
+}
+
+func TestParseRejectsNonDataFrames(t *testing.T) {
+	nwk, app := testKeys()
+	wire := make([]byte, 16)
+	wire[0] = uint8(JoinRequest) << 5
+	if _, err := ParseDataFrame(wire, nwk, app); err != ErrBadMType {
+		t.Errorf("err = %v, want ErrBadMType", err)
+	}
+	if _, err := ParseDataFrame([]byte{1, 2}, nwk, app); err != ErrTooShort {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestMarshalRejectsBadInput(t *testing.T) {
+	nwk, app := testKeys()
+	f := &DataFrame{MType: JoinRequest}
+	if _, err := f.Marshal(nwk, app); err != ErrBadMType {
+		t.Errorf("join-request marshal: %v", err)
+	}
+	f2 := &DataFrame{MType: UnconfirmedDataUp, FOpts: make([]byte, 16)}
+	if _, err := f2.Marshal(nwk, app); err == nil {
+		t.Error("oversized FOpts accepted")
+	}
+}
+
+func TestCryptPayloadSelfInverse(t *testing.T) {
+	_, app := testKeys()
+	f := func(data []byte, addr uint32, fcnt uint32, up bool) bool {
+		enc, err := cryptPayload(app, DevAddr(addr), fcnt, up, data)
+		if err != nil {
+			return false
+		}
+		dec, err := cryptPayload(app, DevAddr(addr), fcnt, up, enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMTypeHelpers(t *testing.T) {
+	if !UnconfirmedDataUp.IsUplink() || UnconfirmedDataDown.IsUplink() {
+		t.Error("IsUplink wrong")
+	}
+	if JoinRequest.String() != "JoinRequest" {
+		t.Error("String wrong")
+	}
+	if MType(42).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+	if DevAddr(0xAB).String() != "000000AB" {
+		t.Errorf("DevAddr format: %s", DevAddr(0xAB))
+	}
+}

@@ -1,0 +1,132 @@
+// Package peaks provides the peak-finding primitive used throughout TnB
+// (the role of the MATLAB peakfinder the paper cites) and the per-packet
+// signal-vector calculator (the paper's "signal calculation component").
+package peaks
+
+import (
+	"math"
+	"sort"
+)
+
+// Peak is one local maximum of a signal vector.
+type Peak struct {
+	Bin    int
+	Height float64
+}
+
+// Find locates local maxima of y that stand out from their surroundings by
+// at least sel (the selectivity rule of the MATLAB peakfinder: a candidate
+// maximum counts only if it exceeds the lowest point between it and the
+// previous accepted extremum by sel). When sel <= 0 it defaults to
+// (max-min)/4. At most maxPeaks peaks are returned, highest first; pass
+// maxPeaks <= 0 for no limit.
+//
+// The spectrum of a dechirped LoRa symbol is circular, so y is treated as a
+// circular buffer: a maximum spanning the wrap point is found once.
+func Find(y []float64, sel float64, maxPeaks int) []Peak {
+	n := len(y)
+	if n == 0 {
+		return nil
+	}
+	minV, maxV := y[0], y[0]
+	for _, v := range y {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if sel <= 0 {
+		sel = (maxV - minV) / 4
+	}
+	if maxV == minV {
+		return nil
+	}
+
+	// Rotate so the scan starts at a global minimum: every true peak then
+	// lies strictly inside the scan, making the circular handling exact.
+	rot := 0
+	for i, v := range y {
+		if v == minV {
+			rot = i
+			break
+		}
+	}
+	at := func(i int) float64 { return y[(i+rot)%n] }
+
+	var found []Peak
+	// Hysteresis walk: track the running minimum since the last accepted
+	// peak and the running maximum since the last valley.
+	curMin, curMax := at(0), at(0)
+	maxPos := 0
+	lookingForMax := true
+	for i := 1; i < n; i++ {
+		v := at(i)
+		if lookingForMax {
+			if v > curMax {
+				curMax, maxPos = v, i
+			} else if curMax-v >= sel && curMax-curMin >= sel {
+				found = append(found, Peak{Bin: (maxPos + rot) % n, Height: curMax})
+				lookingForMax = false
+				curMin = v
+			}
+		} else {
+			if v < curMin {
+				curMin = v
+			} else if v-curMin >= sel {
+				lookingForMax = true
+				curMax, maxPos = v, i
+			}
+		}
+	}
+	// Close the circle: the final rising run may form a peak against the
+	// starting minimum.
+	if lookingForMax && curMax-curMin >= sel && curMax-at(0) >= sel && maxPos != 0 {
+		found = append(found, Peak{Bin: (maxPos + rot) % n, Height: curMax})
+	}
+
+	sort.Slice(found, func(i, j int) bool { return found[i].Height > found[j].Height })
+	if maxPeaks > 0 && len(found) > maxPeaks {
+		found = found[:maxPeaks]
+	}
+	return found
+}
+
+// HighestBin returns the bin of the largest element of y, a convenience for
+// single-user demodulation paths.
+func HighestBin(y []float64) int {
+	best, bi := 0.0, 0
+	for i, v := range y {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// InterpolateBin refines a peak location to sub-bin precision. For the
+// magnitude-squared spectrum of a rectangular-windowed tone (exactly the
+// dechirped LoRa symbol), the two-bin amplitude ratio estimator
+// δ = |X[k±1]| / (|X[k]| + |X[k±1]|) is exact in the noiseless case; the
+// larger neighbor selects the side. Used by Choir-style fractional peak
+// matching and diagnostics; returns the fractional bin position.
+func InterpolateBin(y []float64, bin int) float64 {
+	n := len(y)
+	if n < 3 {
+		return float64(bin)
+	}
+	l := math.Sqrt(y[(bin-1+n)%n])
+	c := math.Sqrt(y[bin])
+	r := math.Sqrt(y[(bin+1)%n])
+	if c <= 0 {
+		return float64(bin)
+	}
+	if r >= l {
+		if c+r == 0 {
+			return float64(bin)
+		}
+		return float64(bin) + r/(c+r)
+	}
+	return float64(bin) - l/(c+l)
+}

@@ -1,0 +1,317 @@
+package peaks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tnb/internal/dsp"
+	"tnb/internal/lora"
+)
+
+func TestFindSinglePeak(t *testing.T) {
+	y := make([]float64, 64)
+	y[20] = 10
+	ps := Find(y, 0, 0)
+	if len(ps) != 1 || ps[0].Bin != 20 || ps[0].Height != 10 {
+		t.Fatalf("peaks = %v", ps)
+	}
+}
+
+func TestFindMultiplePeaksSorted(t *testing.T) {
+	y := make([]float64, 128)
+	y[10], y[50], y[90] = 5, 9, 7
+	ps := Find(y, 1, 0)
+	if len(ps) != 3 {
+		t.Fatalf("found %d peaks", len(ps))
+	}
+	if ps[0].Bin != 50 || ps[1].Bin != 90 || ps[2].Bin != 10 {
+		t.Errorf("order: %v", ps)
+	}
+}
+
+func TestFindSelectivityFiltersRipple(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	y := make([]float64, 256)
+	for i := range y {
+		y[i] = rng.Float64() * 0.5 // ripple below sel
+	}
+	y[100] = 10
+	ps := Find(y, 2, 0)
+	if len(ps) != 1 || ps[0].Bin != 100 {
+		t.Fatalf("ripple leaked through: %v", ps)
+	}
+}
+
+func TestFindWrapAroundPeak(t *testing.T) {
+	// Peak exactly at bin 0 with energy spilling to the last bin: the
+	// circular scan must report it once.
+	y := make([]float64, 64)
+	y[0] = 10
+	y[63] = 6
+	y[32] = 8
+	ps := Find(y, 1, 0)
+	if len(ps) != 2 {
+		t.Fatalf("peaks = %v", ps)
+	}
+	bins := map[int]bool{ps[0].Bin: true, ps[1].Bin: true}
+	if !bins[0] || !bins[32] {
+		t.Errorf("expected bins 0 and 32, got %v", ps)
+	}
+}
+
+func TestFindMaxPeaksLimit(t *testing.T) {
+	y := make([]float64, 256)
+	for i := 0; i < 8; i++ {
+		y[i*32+5] = float64(10 + i)
+	}
+	ps := Find(y, 1, 3)
+	if len(ps) != 3 {
+		t.Fatalf("limit not applied: %d peaks", len(ps))
+	}
+	if ps[0].Height != 17 || ps[2].Height != 15 {
+		t.Errorf("kept wrong peaks: %v", ps)
+	}
+}
+
+func TestFindFlatSignal(t *testing.T) {
+	y := []float64{3, 3, 3, 3}
+	if ps := Find(y, 0, 0); len(ps) != 0 {
+		t.Errorf("flat signal produced peaks: %v", ps)
+	}
+	if ps := Find(nil, 0, 0); ps != nil {
+		t.Error("nil input should give nil")
+	}
+}
+
+func TestFindDefaultSelectivity(t *testing.T) {
+	// Default sel is (max-min)/4; a bump of 20% of range must be dropped.
+	y := make([]float64, 100)
+	y[50] = 100
+	y[20] = 15
+	ps := Find(y, 0, 0)
+	if len(ps) != 1 || ps[0].Bin != 50 {
+		t.Errorf("default selectivity: %v", ps)
+	}
+}
+
+func TestHighestBin(t *testing.T) {
+	if HighestBin([]float64{1, 5, 2}) != 1 {
+		t.Error("HighestBin failed")
+	}
+}
+
+func buildSinglePacketCalc(t *testing.T, start, cfoHz float64) (*Calculator, []int, lora.Params) {
+	t.Helper()
+	p := lora.MustParams(8, 4, 125e3, 8)
+	payload := []uint8{1, 2, 3, 4, 5}
+	shifts, _, err := lora.Encode(p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := lora.NewWaveform(p, shifts)
+	n0 := math.Floor(start)
+	frac := start - n0
+	sig := w.Render(frac, cfoHz, 0.3)
+	rx := make([]complex128, int(n0)+len(sig)+100)
+	copy(rx[int(n0):], sig)
+	d := lora.NewDemodulator(p)
+	calc := NewCalculator(d, [][]complex128{rx}, start, cfoHz*p.SymbolDuration(), len(shifts))
+	return calc, shifts, p
+}
+
+func TestCalculatorSigVecPeaksAtShift(t *testing.T) {
+	calc, shifts, _ := buildSinglePacketCalc(t, 1000.25, 1500)
+	for k, h := range shifts {
+		y := calc.SigVec(k)
+		if got := HighestBin(y); got != h {
+			t.Fatalf("symbol %d: peak at %d, want %d", k, got, h)
+		}
+	}
+}
+
+func TestCalculatorCachesVectors(t *testing.T) {
+	calc, _, _ := buildSinglePacketCalc(t, 500, 0)
+	a := calc.SigVec(0)
+	b := calc.SigVec(0)
+	if &a[0] != &b[0] {
+		t.Error("SigVec should return the cached slice")
+	}
+}
+
+func TestCalculatorPreamblePeaks(t *testing.T) {
+	calc, _, p := buildSinglePacketCalc(t, 2000, -2000)
+	hs := calc.PreamblePeakHeights()
+	if len(hs) != lora.PreambleUpchirps {
+		t.Fatalf("%d preamble heights", len(hs))
+	}
+	// All preamble peaks should be near the full coherent gain N².
+	n2 := float64(p.N()) * float64(p.N())
+	for i, h := range hs {
+		if h < 0.8*n2 {
+			t.Errorf("preamble peak %d height %g, want ≈%g", i, h, n2)
+		}
+	}
+	// Preamble upchirps peak at bin 0 for the packet's own alignment.
+	idx := -(lora.PreambleUpchirps + lora.SyncSymbols)
+	if got := HighestBin(calc.SigVec(idx)); got != 0 {
+		t.Errorf("first preamble symbol peak at %d", got)
+	}
+}
+
+func TestCalculatorValueAtWraps(t *testing.T) {
+	calc, shifts, p := buildSinglePacketCalc(t, 100, 0)
+	y := calc.SigVec(0)
+	want := y[shifts[0]]
+	if got := calc.ValueAt(0, float64(shifts[0])+float64(p.N())); got != want {
+		t.Errorf("ValueAt wrap: %g vs %g", got, want)
+	}
+	if got := calc.ValueAt(0, float64(shifts[0])-float64(p.N())); got != want {
+		t.Errorf("ValueAt negative wrap: %g vs %g", got, want)
+	}
+}
+
+func TestCalculatorInRange(t *testing.T) {
+	calc, shifts, _ := buildSinglePacketCalc(t, 100, 0)
+	if !calc.InRange(0) || !calc.InRange(len(shifts)-1) {
+		t.Error("data symbols should be in range")
+	}
+	if calc.InRange(len(shifts)) {
+		t.Error("past-the-end symbol should be out of range")
+	}
+	if !calc.InRange(-lora.PreambleUpchirps - lora.SyncSymbols) {
+		t.Error("first preamble symbol should be in range")
+	}
+	if calc.InRange(-lora.PreambleUpchirps - lora.SyncSymbols - 1) {
+		t.Error("before-preamble index should be out of range")
+	}
+}
+
+func TestMaskPeakZeroesNeighborhood(t *testing.T) {
+	y := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	MaskPeak(y, 0)
+	if y[7] != 0 || y[0] != 0 || y[1] != 0 {
+		t.Errorf("mask at 0 failed: %v", y)
+	}
+	if y[2] == 0 || y[6] == 0 {
+		t.Error("mask too wide")
+	}
+}
+
+func TestSiblingOffsetRelation(t *testing.T) {
+	// Two packets offset in time and CFO: a symbol transmitted by packet B
+	// must appear in packet A's signal vectors at the bin predicted by the
+	// α difference (paper §5.3.2).
+	p := lora.MustParams(8, 4, 125e3, 8)
+	payloadB := []uint8{42, 43, 44, 45, 46, 47}
+	shiftsB, _, err := lora.Encode(p, payloadB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB := lora.NewWaveform(p, shiftsB)
+	startB := 3000.5
+	cfoB := 2200.0
+	sigB := wB.Render(startB-math.Floor(startB), cfoB, 0)
+	rx := make([]complex128, 400000)
+	copy(rx[int(startB):], sigB)
+
+	d := lora.NewDemodulator(p)
+	// Packet A is imaginary (no signal) but has its own alignment.
+	startA := 1000.25
+	cfoA := -1800.0
+	calcA := NewCalculator(d, [][]complex128{rx}, startA, cfoA*p.SymbolDuration(), 60)
+	calcB := NewCalculator(d, [][]complex128{rx}, startB, cfoB*p.SymbolDuration(), len(shiftsB))
+
+	n := float64(p.N())
+	for _, k := range []int{3, 10, 20} {
+		// True peak bin in B's own vector.
+		binB := HighestBin(calcB.SigVec(k))
+		if binB != shiftsB[k] {
+			t.Fatalf("symbol %d of B demodulates to %d, want %d", k, binB, shiftsB[k])
+		}
+		// Where does B's symbol k land in A's timeline?
+		tSym := calcB.SymbolStart(k)
+		idxA := int(math.Floor((tSym - calcA.SymbolStart(0)) / float64(p.SymbolSamples())))
+		// Predicted bin in A's vector: b + αA − αB (mod N).
+		pred := math.Mod(float64(binB)+calcA.Alpha()-calcB.Alpha(), n)
+		if pred < 0 {
+			pred += n
+		}
+		for _, ai := range []int{idxA, idxA + 1} {
+			y := calcA.SigVec(ai)
+			pb := int(pred+0.5) % p.N()
+			// The predicted bin (±1 for rounding) should hold substantial
+			// energy in at least one of the two straddling symbols.
+			v := math.Max(y[pb], math.Max(y[(pb+1)%p.N()], y[(pb+p.N()-1)%p.N()]))
+			mean := 0.0
+			for _, vv := range y {
+				mean += vv
+			}
+			mean /= n
+			if v > 10*mean {
+				goto found
+			}
+		}
+		t.Fatalf("symbol %d: no sibling energy at predicted bin %.1f", k, pred)
+	found:
+	}
+}
+
+func TestInterpolateBinExactTone(t *testing.T) {
+	// A tone at a fractional frequency produces an FFT lobe whose
+	// interpolated peak recovers the fraction to within ~0.05 bins.
+	n := 256
+	for _, fracBin := range []float64{10.0, 10.25, 10.5, 200.75} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = cisTestPeaks(2 * mathPi * fracBin * float64(i) / float64(n))
+		}
+		y := make([]float64, n)
+		f := fftMag(x)
+		copy(y, f)
+		bi := HighestBin(y)
+		got := InterpolateBin(y, bi)
+		// Wrap-aware error.
+		err := got - fracBin
+		if err > float64(n)/2 {
+			err -= float64(n)
+		}
+		if err < 0 {
+			err = -err
+		}
+		if err > 0.02 {
+			t.Errorf("fracBin %.2f: interpolated %.3f (err %.3f)", fracBin, got, err)
+		}
+	}
+}
+
+func TestInterpolateBinDegenerate(t *testing.T) {
+	if got := InterpolateBin([]float64{1, 2}, 0); got != 0 {
+		t.Errorf("short input: %g", got)
+	}
+	if got := InterpolateBin([]float64{0, 0, 0, 0}, 1); got != 1 {
+		t.Errorf("flat zero input: %g", got)
+	}
+	// A symmetric lobe interpolates to the half-bin ambiguity boundary at
+	// most; for equal neighbors the estimator picks +side by convention.
+	y := []float64{0.1, 1, 4, 1, 0.1}
+	got := InterpolateBin(y, 2)
+	if got < 2 || got > 2.5 {
+		t.Errorf("symmetric lobe: %g", got)
+	}
+}
+
+// test helpers for the interpolation tests
+func cisTestPeaks(th float64) complex128 {
+	s, c := math.Sincos(th)
+	return complex(c, s)
+}
+
+const mathPi = math.Pi
+
+func fftMag(x []complex128) []float64 {
+	fx := dsp.FFT(x)
+	y := make([]float64, len(fx))
+	dsp.MagSq(y, fx)
+	return y
+}

@@ -1,0 +1,164 @@
+package peaks
+
+import (
+	"math"
+
+	"tnb/internal/lora"
+)
+
+// Calculator computes and caches the signal vectors of one detected packet:
+// for each data symbol, Y = |FFT(symbol ⊙ C')|² aligned to the packet's
+// estimated boundary and corrected by its estimated CFO, summed over
+// antennas (paper §3–§4). Negative symbol indices address the preamble
+// upchirps, used to bootstrap Thrive's peak-height history.
+type Calculator struct {
+	demod     *lora.Demodulator
+	antennas  [][]complex128
+	start     float64 // packet start in rx samples
+	cfoCycles float64
+	numData   int
+	dataOff   float64 // rx samples from packet start to first data symbol
+	cache     map[int][]float64
+	buf       []complex128
+	scratch   []float64
+}
+
+// NewCalculator builds a signal-vector calculator for a packet detected at
+// the (fractional) rx-sample position start with the given CFO in cycles
+// per symbol, carrying numData data symbols.
+func NewCalculator(d *lora.Demodulator, antennas [][]complex128, start, cfoCycles float64, numData int) *Calculator {
+	p := d.Params()
+	dataOff := (lora.PreambleUpchirps + lora.SyncSymbols + float64(lora.DownchirpQuarters)/4) *
+		float64(p.SymbolSamples())
+	return &Calculator{
+		demod:     d,
+		antennas:  antennas,
+		start:     start,
+		cfoCycles: cfoCycles,
+		numData:   numData,
+		dataOff:   dataOff,
+		cache:     make(map[int][]float64),
+		buf:       make([]complex128, p.N()),
+		scratch:   make([]float64, p.N()),
+	}
+}
+
+// NumData returns the number of data symbols covered.
+func (c *Calculator) NumData() int { return c.numData }
+
+// Start returns the packet start in rx samples.
+func (c *Calculator) Start() float64 { return c.start }
+
+// CFOCycles returns the packet CFO estimate in cycles per symbol.
+func (c *Calculator) CFOCycles() float64 { return c.cfoCycles }
+
+// SymbolStart returns the rx-sample position of data symbol idx (negative
+// idx addresses preamble symbols).
+func (c *Calculator) SymbolStart(idx int) float64 {
+	return c.start + c.dataOff + float64(idx*c.demod.Params().SymbolSamples())
+}
+
+// Alpha returns the packet's α: the symbol-boundary offset in chips
+// combined with the CFO in cycles per symbol (paper §5.3.1). With this
+// implementation's sign conventions a peak observed at bin b in packet k's
+// signal vectors appears in packet i's vectors at bin
+// mod(b + αᵢ - αₖ, N): a window that starts later sees the chirp's peak at
+// a higher bin, and a packet's own CFO correction shifts foreign peaks the
+// opposite way. α is reported modulo N.
+func (c *Calculator) Alpha() float64 {
+	p := c.demod.Params()
+	n := float64(p.N())
+	a := c.SymbolStart(0)/float64(p.OSF) - c.cfoCycles
+	a = math.Mod(a, n)
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// InRange reports whether data symbol idx exists (preamble indices are
+// valid down to -PreambleUpchirps).
+func (c *Calculator) InRange(idx int) bool {
+	return idx >= -(lora.PreambleUpchirps+lora.SyncSymbols) && idx < c.numData
+}
+
+// SigVec returns the cached signal vector of data symbol idx. For preamble
+// indices the downchirp section is skipped: idx -1 is the second sync
+// symbol, and so on backwards.
+func (c *Calculator) SigVec(idx int) []float64 {
+	if y, ok := c.cache[idx]; ok {
+		return y
+	}
+	p := c.demod.Params()
+	y := make([]float64, p.N())
+	var start float64
+	if idx >= 0 {
+		start = c.SymbolStart(idx)
+	} else {
+		// Preamble upchirps and sync symbols lie before the 2.25
+		// downchirps.
+		start = c.start + float64((lora.PreambleUpchirps+lora.SyncSymbols+idx)*p.SymbolSamples())
+	}
+	symIndexForPhase := idx
+	for _, ant := range c.antennas {
+		c.demod.SignalVectorInto(c.scratch, c.buf, ant, start, c.cfoCycles, symIndexForPhase)
+		for i := range y {
+			y[i] += c.scratch[i]
+		}
+	}
+	c.cache[idx] = y
+	return y
+}
+
+// ValueAt returns the signal vector value of symbol idx at (rounded,
+// wrapped) bin position pos; used when a sibling is too weak to register as
+// a peak (paper §5.3.3).
+func (c *Calculator) ValueAt(idx int, pos float64) float64 {
+	y := c.SigVec(idx)
+	return y[wrapBin(pos, len(y))]
+}
+
+// wrapBin rounds a real bin position to the nearest integer bin modulo n.
+func wrapBin(pos float64, n int) int {
+	b := int(math.Floor(pos+0.5)) % n
+	if b < 0 {
+		b += n
+	}
+	return b
+}
+
+// PreamblePeakHeights returns the peak heights of the preamble upchirps,
+// which bootstrap the history fit (paper §5.2). The peak is read at the
+// expected bin (the maximum of the vector, since the preamble is clean for
+// the packet's own alignment).
+func (c *Calculator) PreamblePeakHeights() []float64 {
+	hs := make([]float64, 0, lora.PreambleUpchirps)
+	for k := 0; k < lora.PreambleUpchirps; k++ {
+		idx := k - (lora.PreambleUpchirps + lora.SyncSymbols)
+		y := c.SigVec(idx)
+		_, m := maxOf(y)
+		hs = append(hs, m)
+	}
+	return hs
+}
+
+func maxOf(y []float64) (int, float64) {
+	bi, best := 0, 0.0
+	for i, v := range y {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi, best
+}
+
+// MaskPeak subtracts a decoded packet's known peak from a signal vector by
+// zeroing the bins within ±1 of pos. Used in the second decoding pass
+// (paper §4) and for preamble masking.
+func MaskPeak(y []float64, pos float64) {
+	n := len(y)
+	b := wrapBin(pos, n)
+	for _, d := range []int{-1, 0, 1} {
+		y[(b+d+n)%n] = 0
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+
+	"tnb/internal/trace"
+)
+
+// Result scores one scheme on one trace.
+type Result struct {
+	Scheme  Scheme
+	Config  Config
+	Sent    int // packets transmitted
+	Decoded int // packets decoded correctly (payload match)
+
+	// Throughput is decoded packets per second (the y-axis of
+	// Figs. 12–15).
+	Throughput float64
+	// PRR is Decoded/Sent (Figs. 17, 19).
+	PRR float64
+
+	// PerNodeSNR maps node → configured SNR, for SNR-bucketed analyses.
+	PerNodeSNR map[int]float64
+	// EstimatedSNRs holds the receiver's per-decoded-packet SNR
+	// estimates when the scheme provides them (Fig. 10).
+	EstimatedSNRs []float64
+	// Rescued holds, per decoded packet, the number of BEC-rescued
+	// codewords (Fig. 16).
+	Rescued []int
+	// CollisionLevels holds, per decoded packet, the highest number of
+	// other decoded packets it overlapped simultaneously — the paper's
+	// lower-bound estimate (Fig. 18).
+	CollisionLevels []int
+	// DecodedPerNode counts decodes by node.
+	DecodedPerNode map[int]int
+}
+
+// Run generates the trace for cfg, decodes it with the scheme and scores
+// the result.
+func Run(cfg Config, s Scheme) (Result, error) {
+	gt, err := Generate(cfg, s.Antennas())
+	if err != nil {
+		return Result{}, err
+	}
+	return Score(cfg, s, gt), nil
+}
+
+// Score evaluates a scheme against a pre-generated ground truth, letting
+// callers reuse one trace across schemes (as the paper does).
+func Score(cfg Config, s Scheme, gt *GroundTruth) Result {
+	decoded := runScheme(s, gt, cfg)
+	res := Result{
+		Scheme: s, Config: cfg,
+		Sent:           len(gt.Records),
+		PerNodeSNR:     map[int]float64{},
+		DecodedPerNode: map[int]int{},
+	}
+	for _, rec := range gt.Records {
+		res.PerNodeSNR[rec.Node] = rec.SNRdB
+	}
+
+	// Match decodes to ground truth by payload; each transmission counts
+	// once.
+	used := make([]bool, len(gt.Records))
+	var matched []trace.TxRecord
+	for _, d := range decoded {
+		for i, rec := range gt.Records {
+			if used[i] || !bytes.Equal(d.payload, rec.Payload) {
+				continue
+			}
+			used[i] = true
+			res.Decoded++
+			res.DecodedPerNode[rec.Node]++
+			res.Rescued = append(res.Rescued, d.rescued)
+			if d.hasSNR {
+				res.EstimatedSNRs = append(res.EstimatedSNRs, d.snrdB)
+			}
+			matched = append(matched, rec)
+			break
+		}
+	}
+	if cfg.DurationSec > 0 {
+		res.Throughput = float64(res.Decoded) / cfg.DurationSec
+	}
+	if res.Sent > 0 {
+		res.PRR = float64(res.Decoded) / float64(res.Sent)
+	}
+	res.CollisionLevels = CollisionLevels(matched)
+	return res
+}
+
+// CollisionLevels computes, per packet, the number of the given packets it
+// collided with during its transmission (paper Fig. 18). Computing it over
+// decoded packets only gives the paper's lower-bound estimate; over all
+// records it is exact.
+func CollisionLevels(recs []trace.TxRecord) []int {
+	levels := make([]int, len(recs))
+	for i, r := range recs {
+		for j, o := range recs {
+			if j != i && r.Overlaps(o) {
+				levels[i]++
+			}
+		}
+	}
+	return levels
+}
+
+// MediumUsage computes the number of packets on air in consecutive bins of
+// binSec seconds (Fig. 11). Passing only decoded packets yields the
+// paper's lower bound.
+func MediumUsage(recs []trace.TxRecord, sampleRate, durationSec, binSec float64) []int {
+	if binSec <= 0 || durationSec <= 0 {
+		return nil
+	}
+	nbins := int(durationSec / binSec)
+	usage := make([]int, nbins)
+	for _, r := range recs {
+		s := int(r.StartSample / sampleRate / binSec)
+		e := int(r.EndSample() / sampleRate / binSec)
+		for b := s; b <= e && b < nbins; b++ {
+			if b >= 0 {
+				usage[b]++
+			}
+		}
+	}
+	return usage
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job is one (config, scheme) evaluation in a batch.
+type Job struct {
+	Config Config
+	Scheme Scheme
+}
+
+// JobResult pairs a job with its outcome.
+type JobResult struct {
+	Job    Job
+	Result Result
+	Err    error
+}
+
+// RunBatch evaluates the jobs concurrently on up to workers goroutines
+// (0 → GOMAXPROCS) and returns results in job order. Each job generates
+// its own trace, so jobs are fully independent; traces sharing a seed and
+// config still produce identical transmissions, preserving the paper's
+// shared-trace methodology when callers reuse (Config, differing Scheme)
+// pairs.
+func RunBatch(jobs []Job, workers int) []JobResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			res, err := Run(j.Config, j.Scheme)
+			results[i] = JobResult{Job: j, Result: res, Err: err}
+		}
+		return results
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				res, err := Run(j.Config, j.Scheme)
+				results[i] = JobResult{Job: j, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

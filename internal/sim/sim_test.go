@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnb/internal/trace"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Deployment:    Deployment{Name: "test", Nodes: 6, MeanDB: 10, SpreadDB: 4, MinDB: 0, MaxDB: 20},
+		SF:            8,
+		CR:            4,
+		LoadPktPerSec: 6,
+		DurationSec:   1.5,
+		Seed:          seed,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig(1)
+	a, err := Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i].StartSample != b.Records[i].StartSample ||
+			a.Records[i].Node != b.Records[i].Node {
+			t.Fatal("non-deterministic generation")
+		}
+	}
+}
+
+func TestGenerateLoadMatches(t *testing.T) {
+	cfg := smallConfig(2)
+	gt, err := Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(cfg.LoadPktPerSec * cfg.DurationSec)
+	if len(gt.Records) != want {
+		t.Errorf("%d packets generated, want %d", len(gt.Records), want)
+	}
+}
+
+func TestMakePayloadDistinct(t *testing.T) {
+	a := MakePayload(1, 2, 14)
+	b := MakePayload(1, 3, 14)
+	c := MakePayload(2, 2, 14)
+	if string(a) == string(b) || string(a) == string(c) {
+		t.Error("payloads must be distinct per (node, seq)")
+	}
+	if len(MakePayload(0, 0, 3)) != 3 {
+		t.Error("short payload length wrong")
+	}
+}
+
+func TestRunTnBDecodesMost(t *testing.T) {
+	res, err := Run(smallConfig(3), SchemeTnB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("no packets sent")
+	}
+	if res.PRR < 0.55 {
+		t.Errorf("TnB PRR %.2f (%d/%d) too low at light load", res.PRR, res.Decoded, res.Sent)
+	}
+	if len(res.EstimatedSNRs) != res.Decoded {
+		t.Errorf("SNR estimates %d != decoded %d", len(res.EstimatedSNRs), res.Decoded)
+	}
+}
+
+func TestSchemeOrderingAtModerateLoad(t *testing.T) {
+	// The headline shape: TnB >= Thrive ablation and TnB >= LoRaPHY on a
+	// collided trace.
+	cfg := smallConfig(4)
+	cfg.LoadPktPerSec = 10
+	gt, err := Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tnb := Score(cfg, SchemeTnB, gt)
+	thr := Score(cfg, SchemeThrive, gt)
+	phy := Score(cfg, SchemeLoRaPHY, gt)
+	t.Logf("TnB %d, Thrive %d, LoRaPHY %d of %d", tnb.Decoded, thr.Decoded, phy.Decoded, tnb.Sent)
+	if tnb.Decoded < thr.Decoded {
+		t.Errorf("TnB (%d) below Thrive-only (%d)", tnb.Decoded, thr.Decoded)
+	}
+	if tnb.Decoded < phy.Decoded {
+		t.Errorf("TnB (%d) below LoRaPHY (%d)", tnb.Decoded, phy.Decoded)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeTnB: "TnB", SchemeCICBEC: "CIC+", SchemeAlignTrack: "AlignTrack*",
+		SchemeTnB2Ant: "TnB2ant", Scheme(99): "Scheme(99)",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d: %q != %q", int(s), s.String(), want)
+		}
+	}
+	if SchemeTnB2Ant.Antennas() != 2 || SchemeTnB.Antennas() != 1 {
+		t.Error("antenna counts wrong")
+	}
+}
+
+func TestCollisionLevels(t *testing.T) {
+	recs := []trace.TxRecord{
+		{StartSample: 0, NumSamples: 100},
+		{StartSample: 50, NumSamples: 100},
+		{StartSample: 120, NumSamples: 100},
+		{StartSample: 500, NumSamples: 50},
+	}
+	levels := CollisionLevels(recs)
+	want := []int{1, 2, 1, 0} // packet 1 overlaps both neighbors
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("packet %d: level %d, want %d", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestCollisionLevelsSimultaneous(t *testing.T) {
+	// Three fully overlapping packets: each sees 2 others at once.
+	recs := []trace.TxRecord{
+		{StartSample: 0, NumSamples: 100},
+		{StartSample: 10, NumSamples: 100},
+		{StartSample: 20, NumSamples: 100},
+	}
+	for i, l := range CollisionLevels(recs) {
+		if l != 2 {
+			t.Errorf("packet %d: level %d, want 2", i, l)
+		}
+	}
+}
+
+func TestMediumUsage(t *testing.T) {
+	recs := []trace.TxRecord{
+		{StartSample: 0, NumSamples: 1000},    // 0..1 ms at 1 Msps
+		{StartSample: 1500, NumSamples: 1000}, // 1.5..2.5 ms
+	}
+	usage := MediumUsage(recs, 1e6, 0.004, 0.001)
+	want := []int{1, 2, 1, 0}
+	for i := range want {
+		if usage[i] != want[i] {
+			t.Errorf("bin %d: %d, want %d", i, usage[i], want[i])
+		}
+	}
+	if MediumUsage(recs, 1e6, 0, 0.001) != nil {
+		t.Error("zero duration should give nil")
+	}
+}
+
+func TestDeploymentSNRs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range Deployments {
+		snrs := d.NodeSNRs(rng)
+		if len(snrs) != d.Nodes {
+			t.Fatalf("%s: %d SNRs", d.Name, len(snrs))
+		}
+		for _, v := range snrs {
+			if v < d.MinDB || v > d.MaxDB {
+				t.Errorf("%s: SNR %g outside [%g, %g]", d.Name, v, d.MinDB, d.MaxDB)
+			}
+		}
+	}
+	if Indoor.Nodes != 19 || Outdoor1.Nodes != 25 || Outdoor2.Nodes != 25 {
+		t.Error("node counts must match the paper")
+	}
+}
+
+func TestUniformSNR(t *testing.T) {
+	d := UniformSNR("sim", 20, 0, 20)
+	rng := rand.New(rand.NewSource(6))
+	snrs := d.NodeSNRs(rng)
+	lo, hi := false, false
+	for _, v := range snrs {
+		if v < 0 || v > 20 {
+			t.Fatalf("SNR %g outside range", v)
+		}
+		if v < 7 {
+			lo = true
+		}
+		if v > 13 {
+			hi = true
+		}
+	}
+	if !lo || !hi {
+		t.Error("uniform SNRs should cover the range")
+	}
+}
+
+func TestETUGenerateRuns(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.ETU = true
+	cfg.LoadPktPerSec = 3
+	cfg.DurationSec = 1.0
+	gt, err := Generate(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Trace.NumAntennas() != 2 {
+		t.Errorf("antennas = %d", gt.Trace.NumAntennas())
+	}
+	if len(gt.Records) != 3 {
+		t.Errorf("%d records", len(gt.Records))
+	}
+}

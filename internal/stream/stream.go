@@ -1,0 +1,154 @@
+// Package stream adapts the block-oriented TnB receiver to a continuous
+// sample stream, the shape a live gateway consumes: samples arrive in
+// arbitrary-size chunks, packets may straddle chunk boundaries, and decoded
+// packets must be emitted exactly once with absolute timestamps.
+//
+// The streamer buffers one processing window plus an overlap region long
+// enough to hold the longest packet. Each processing pass decodes the
+// whole window but only commits packets that start before the overlap;
+// later starters are re-seen (complete) in the next window.
+package stream
+
+import (
+	"fmt"
+
+	"tnb/internal/core"
+	"tnb/internal/lora"
+)
+
+// Decoded is a stream-level decode: a core decode with the stream-absolute
+// sample position.
+type Decoded struct {
+	core.Decoded
+	// AbsStart is the packet start in samples since the first Feed call.
+	AbsStart float64
+}
+
+// Streamer incrementally decodes a single-antenna sample stream. It is not
+// safe for concurrent use.
+type Streamer struct {
+	rx     *core.Receiver
+	params lora.Params
+
+	// window is the number of samples decoded per pass; overlap is the
+	// carry-over that lets boundary packets be seen whole.
+	window  int
+	overlap int
+
+	buf       []complex128
+	absBase   int // absolute sample index of buf[0]
+	emitted   map[string]bool
+	maxEmit   int // cap on the dedup set
+	collected []Decoded
+}
+
+// Config tunes the streamer.
+type Config struct {
+	Receiver core.Config
+	// MaxPayloadLen bounds the packet length the overlap must cover
+	// (0 → the receiver's own default of 48 bytes).
+	MaxPayloadLen int
+	// WindowSamples is the processing block size (0 → 4× the maximum
+	// packet length).
+	WindowSamples int
+}
+
+// New builds a streamer.
+func New(cfg Config) (*Streamer, error) {
+	p := cfg.Receiver.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxPayload := cfg.MaxPayloadLen
+	if maxPayload == 0 {
+		maxPayload = 48
+	}
+	if cfg.Receiver.MaxPayloadLen == 0 {
+		cfg.Receiver.MaxPayloadLen = maxPayload
+	}
+	pktLen := p.PacketSamples(maxPayload)
+	overlap := pktLen + 2*p.SymbolSamples()
+	window := cfg.WindowSamples
+	if window <= 0 {
+		window = 4 * pktLen
+	}
+	if window < overlap {
+		return nil, fmt.Errorf("stream: window %d smaller than overlap %d", window, overlap)
+	}
+	return &Streamer{
+		rx:      core.NewReceiver(cfg.Receiver),
+		params:  p,
+		window:  window,
+		overlap: overlap,
+		emitted: map[string]bool{},
+		maxEmit: 4096,
+	}, nil
+}
+
+// WindowSamples returns the processing block size.
+func (s *Streamer) WindowSamples() int { return s.window }
+
+// OverlapSamples returns the boundary carry-over length.
+func (s *Streamer) OverlapSamples() int { return s.overlap }
+
+// Feed appends samples to the stream and returns any packets newly decoded
+// by processing passes this chunk completed.
+func (s *Streamer) Feed(samples []complex128) []Decoded {
+	s.buf = append(s.buf, samples...)
+	var out []Decoded
+	for len(s.buf) >= s.window+s.overlap {
+		out = append(out, s.process(s.window+s.overlap, float64(s.window))...)
+		// Slide: drop the committed region, keep the overlap.
+		s.buf = append(s.buf[:0], s.buf[s.window:]...)
+		s.absBase += s.window
+	}
+	return out
+}
+
+// Flush decodes whatever remains in the buffer (end of stream) and returns
+// the final packets.
+func (s *Streamer) Flush() []Decoded {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	out := s.process(len(s.buf), float64(len(s.buf)))
+	s.buf = s.buf[:0]
+	return out
+}
+
+// process decodes buf[:n] and commits packets starting before commitBefore
+// (relative to the window).
+func (s *Streamer) process(n int, commitBefore float64) []Decoded {
+	var out []Decoded
+	for _, d := range s.rx.DecodeSamples([][]complex128{s.buf[:n]}) {
+		if d.Start >= commitBefore {
+			continue // will be seen whole in the next window
+		}
+		abs := d.Start + float64(s.absBase)
+		// Dedup across overlapping windows: same payload within one
+		// symbol-quantized cell (neighboring cells checked so a decode
+		// re-estimated a fraction of a sample apart still matches).
+		cell := int(abs) / s.params.SymbolSamples()
+		dup := false
+		for _, c := range []int{cell - 1, cell, cell + 1} {
+			if s.emitted[dedupKey(d.Payload, c)] {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if len(s.emitted) >= s.maxEmit {
+			s.emitted = map[string]bool{}
+		}
+		s.emitted[dedupKey(d.Payload, cell)] = true
+		out = append(out, Decoded{Decoded: d, AbsStart: abs})
+	}
+	return out
+}
+
+// dedupKey identifies a decode: payload bytes plus a time cell.
+func dedupKey(payload []uint8, cell int) string {
+	return fmt.Sprintf("%x@%d", payload, cell)
+}

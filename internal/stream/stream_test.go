@@ -1,0 +1,195 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tnb/internal/core"
+	"tnb/internal/lora"
+	"tnb/internal/trace"
+)
+
+func streamParams() lora.Params { return lora.MustParams(8, 4, 125e3, 8) }
+
+// buildLongTrace returns a multi-packet trace and its records.
+func buildLongTrace(t *testing.T, seed int64, n int, durSec float64) (*trace.Trace, []trace.TxRecord) {
+	t.Helper()
+	p := streamParams()
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder(p, durSec, 1, rng)
+	starts := b.ScheduleUniform(n, 14)
+	for i, s := range starts {
+		payload := make([]uint8, 14)
+		rng.Read(payload)
+		if err := b.AddPacket(i, 0, payload, s, 8+4*rng.Float64(), -4000+8000*rng.Float64(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func newStreamer(t *testing.T) *Streamer {
+	t.Helper()
+	s, err := New(Config{Receiver: core.Config{Params: streamParams(), UseBEC: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func decodedSet(ds []Decoded) map[string]bool {
+	set := map[string]bool{}
+	for _, d := range ds {
+		set[string(d.Payload)] = true
+	}
+	return set
+}
+
+func TestStreamerMatchesWholeTraceDecode(t *testing.T) {
+	tr, _ := buildLongTrace(t, 800, 8, 3.0)
+
+	// Reference: one-shot decode.
+	rx := core.NewReceiver(core.Config{Params: streamParams(), UseBEC: true})
+	ref := map[string]bool{}
+	for _, d := range rx.Decode(tr) {
+		ref[string(d.Payload)] = true
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference decoded nothing")
+	}
+
+	// Streamed in fixed chunks.
+	s := newStreamer(t)
+	var got []Decoded
+	chunk := 100_000
+	samples := tr.Antennas[0]
+	for off := 0; off < len(samples); off += chunk {
+		end := off + chunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		got = append(got, s.Feed(samples[off:end])...)
+	}
+	got = append(got, s.Flush()...)
+
+	gotSet := decodedSet(got)
+	for pl := range ref {
+		if !gotSet[pl] {
+			t.Errorf("streamer missed a packet the one-shot decode found")
+		}
+	}
+}
+
+func TestStreamerRandomChunkSizes(t *testing.T) {
+	tr, _ := buildLongTrace(t, 801, 6, 2.5)
+	s := newStreamer(t)
+	rng := rand.New(rand.NewSource(802))
+	samples := tr.Antennas[0]
+	var got []Decoded
+	off := 0
+	for off < len(samples) {
+		n := 1 + rng.Intn(200_000)
+		if off+n > len(samples) {
+			n = len(samples) - off
+		}
+		got = append(got, s.Feed(samples[off:off+n])...)
+		off += n
+	}
+	got = append(got, s.Flush()...)
+	if len(got) == 0 {
+		t.Fatal("nothing decoded from random-size chunks")
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, d := range got {
+		k := string(d.Payload)
+		if seen[k] {
+			t.Errorf("duplicate emission of %x", d.Payload)
+		}
+		seen[k] = true
+	}
+}
+
+func TestStreamerAbsoluteTimestamps(t *testing.T) {
+	p := streamParams()
+	rng := rand.New(rand.NewSource(803))
+	b := trace.NewBuilder(p, 3.0, 1, rng)
+	payload := []uint8("timestamped!!")
+	truth := 2_000_000.5 // deep into the second processing window
+	if err := b.AddPacket(0, 0, payload, truth, 12, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := b.Build()
+	s := newStreamer(t)
+	var got []Decoded
+	for off := 0; off < tr.Len(); off += 250_000 {
+		end := off + 250_000
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		got = append(got, s.Feed(tr.Antennas[0][off:end])...)
+	}
+	got = append(got, s.Flush()...)
+	found := false
+	for _, d := range got {
+		if bytes.Equal(d.Payload, payload) {
+			found = true
+			if e := d.AbsStart - truth; e > 2 || e < -2 {
+				t.Errorf("absolute start %.2f, want %.2f", d.AbsStart, truth)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("packet not decoded by the streamer")
+	}
+}
+
+func TestStreamerPacketAcrossWindowBoundary(t *testing.T) {
+	// Place a packet straddling the first window boundary exactly.
+	p := streamParams()
+	s := newStreamer(t)
+	rng := rand.New(rand.NewSource(804))
+	total := s.WindowSamples()*2 + s.OverlapSamples() + 1000
+	b := trace.NewBuilder(p, float64(total)/p.SampleRate(), 1, rng)
+	payload := []uint8("boundary rider")
+	start := float64(s.WindowSamples()) - float64(p.PacketSamples(len(payload)))/2
+	if err := b.AddPacket(0, 0, payload, start, 12, -2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := b.Build()
+	var got []Decoded
+	got = append(got, s.Feed(tr.Antennas[0])...)
+	got = append(got, s.Flush()...)
+	count := 0
+	for _, d := range got {
+		if bytes.Equal(d.Payload, payload) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("boundary packet decoded %d times, want exactly 1", count)
+	}
+}
+
+func TestStreamerEmptyAndFlushOnly(t *testing.T) {
+	s := newStreamer(t)
+	if out := s.Feed(nil); len(out) != 0 {
+		t.Error("feeding nothing produced decodes")
+	}
+	if out := s.Flush(); len(out) != 0 {
+		t.Error("flushing an empty stream produced decodes")
+	}
+}
+
+func TestNewStreamerValidation(t *testing.T) {
+	if _, err := New(Config{Receiver: core.Config{Params: lora.Params{}}}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := New(Config{
+		Receiver:      core.Config{Params: streamParams()},
+		WindowSamples: 10, // smaller than the overlap
+	}); err == nil {
+		t.Error("window smaller than overlap accepted")
+	}
+}

@@ -1,0 +1,540 @@
+// Package thrive implements TnB's peak assignment (paper §5): at every
+// checking point, the symbols of all collided packets that intersect it are
+// each assigned one FFT peak, chosen by a matching cost that combines the
+// sibling cost (Eq. 1: relative height among the copies of the same
+// transmitted peak across packets' signal vectors) and the history cost
+// (Eq. 2: deviation from a curve fit of the node's past peak heights).
+//
+// The package also provides the AlignTrack* assignment policy (paper §8.2),
+// which assigns a peak to a symbol when the peak is highest in that
+// symbol's own signal vector — the comparison baseline.
+package thrive
+
+import (
+	"math"
+
+	"tnb/internal/lora"
+	"tnb/internal/peaks"
+	"tnb/internal/stats"
+)
+
+// Policy selects the peak-assignment algorithm.
+type Policy int
+
+const (
+	// PolicyThrive uses the full matching cost (sibling + history).
+	PolicyThrive Policy = iota
+	// PolicySibling uses the sibling cost only (the "Sibling"
+	// configuration of paper §8.4).
+	PolicySibling
+	// PolicyAlignTrack is the AlignTrack* baseline: a peak belongs to the
+	// symbol where it is highest among its siblings.
+	PolicyAlignTrack
+)
+
+// Config tunes the engine. The zero value selects the paper's settings via
+// NewEngine.
+type Config struct {
+	Policy Policy
+	// Omega is the history-cost weight ω (paper §5.3.3; 0.1).
+	Omega float64
+	// SmoothWindow is the moving-average window of the history curve fit.
+	SmoothWindow int
+	// HistorySpread is the multiple of the deviation D used for the upper
+	// and lower estimates (paper: U = A + 4D, L = A - 4D).
+	HistorySpread float64
+}
+
+// DefaultConfig returns the paper's parameter choices.
+func DefaultConfig() Config {
+	return Config{Policy: PolicyThrive, Omega: 0.1, SmoothWindow: 7, HistorySpread: 4}
+}
+
+// PacketState tracks one detected packet through peak assignment.
+type PacketState struct {
+	ID   int
+	Calc *peaks.Calculator
+
+	// Known marks a packet whose peaks are known: decoded correctly in a
+	// previous pass. Its peaks are masked rather than assigned.
+	Known bool
+	// KnownShifts holds the true data-symbol shifts of a Known packet.
+	KnownShifts []int
+	// PriorHeights, when non-nil, holds the peak heights observed in a
+	// previous pass; the history fit then runs over the full packet
+	// (paper §5.3.3, second decoding attempt).
+	PriorHeights []float64
+
+	// Assigned receives the assigned peak bin per data symbol (-1 until
+	// assigned).
+	Assigned []int
+	// Heights receives the assigned peak heights, feeding the history.
+	Heights []float64
+	// Alternates receives the runner-up peak bin per symbol (-1 when the
+	// symbol had no second candidate); list decoding uses it to retry
+	// failed packets.
+	Alternates []int
+
+	historySeed []float64 // preamble peak heights (bootstrap)
+}
+
+// NewPacketState wraps a calculator for assignment.
+func NewPacketState(id int, calc *peaks.Calculator) *PacketState {
+	n := calc.NumData()
+	ps := &PacketState{
+		ID:         id,
+		Calc:       calc,
+		Assigned:   make([]int, n),
+		Heights:    make([]float64, n),
+		Alternates: make([]int, n),
+	}
+	for i := range ps.Assigned {
+		ps.Assigned[i] = -1
+		ps.Alternates[i] = -1
+	}
+	return ps
+}
+
+// Engine runs peak assignment over a trace.
+type Engine struct {
+	cfg Config
+	p   lora.Params
+}
+
+// NewEngine builds an engine; zero-value config fields fall back to the
+// paper's defaults.
+func NewEngine(p lora.Params, cfg Config) *Engine {
+	def := DefaultConfig()
+	if cfg.Omega == 0 {
+		cfg.Omega = def.Omega
+	}
+	if cfg.SmoothWindow == 0 {
+		cfg.SmoothWindow = def.SmoothWindow
+	}
+	if cfg.HistorySpread == 0 {
+		cfg.HistorySpread = def.HistorySpread
+	}
+	return &Engine{cfg: cfg, p: p}
+}
+
+// symbol is one data symbol intersecting the current checking point.
+type symbol struct {
+	pkt   *PacketState
+	idx   int
+	start float64
+	y     []float64 // masked working copy of the signal vector
+	ps    []peaks.Peak
+	costs []float64
+	alive bool
+}
+
+// Run assigns peaks for every unknown packet across the trace of traceLen
+// samples. Packets must be sorted by start time (any order works, but
+// sorted keeps the history causal).
+func (e *Engine) Run(pkts []*PacketState, traceLen int) {
+	sym := e.p.SymbolSamples()
+	for _, ps := range pkts {
+		if ps.historySeed == nil {
+			ps.historySeed = ps.Calc.PreamblePeakHeights()
+		}
+	}
+	for cp := 0; cp <= traceLen+sym; cp += sym {
+		e.runCheckingPoint(pkts, float64(cp))
+	}
+}
+
+// symbolAt returns the data-symbol index of the packet whose symbol
+// interior contains the checking point, or -1.
+func symbolAt(ps *PacketState, cp float64, symSamples int) int {
+	s0 := ps.Calc.SymbolStart(0)
+	idx := int(math.Ceil((cp-s0)/float64(symSamples))) - 1
+	if idx < 0 || idx >= ps.Calc.NumData() {
+		return -1
+	}
+	return idx
+}
+
+func (e *Engine) runCheckingPoint(pkts []*PacketState, cp float64) {
+	symSamples := e.p.SymbolSamples()
+	n := e.p.N()
+
+	// Collect the unknown symbols intersecting this checking point.
+	var syms []*symbol
+	for _, ps := range pkts {
+		if ps.Known {
+			continue
+		}
+		idx := symbolAt(ps, cp, symSamples)
+		if idx < 0 || ps.Assigned[idx] >= 0 {
+			continue
+		}
+		src := ps.Calc.SigVec(idx)
+		y := append([]float64(nil), src...)
+		syms = append(syms, &symbol{
+			pkt: ps, idx: idx,
+			start: ps.Calc.SymbolStart(idx),
+			y:     y, alive: true,
+		})
+	}
+	if len(syms) == 0 {
+		return
+	}
+	m := len(syms)
+
+	// Mask peaks that are already known: preamble symbols and decoded
+	// packets (paper §5.3.4).
+	for _, s := range syms {
+		for _, other := range pkts {
+			if other == s.pkt {
+				continue
+			}
+			e.maskKnownInto(s, other, symSamples, n)
+		}
+	}
+
+	// Locate peaks: at most 2M per symbol (paper §5.3.1). The selectivity
+	// is tied to the noise floor (median of the vector) rather than the
+	// peak range, so a weak node's peak survives next to a 20 dB stronger
+	// collider; the 2M cap bounds the list.
+	for _, s := range syms {
+		s.ps = peaks.Find(s.y, 6*stats.Median(s.y), 2*m)
+	}
+
+	if e.cfg.Policy == PolicyAlignTrack {
+		e.assignAlignTrack(syms, n)
+		return
+	}
+
+	// Matching costs.
+	for _, s := range syms {
+		s.costs = make([]float64, len(s.ps))
+		var hist *historyFit
+		if e.cfg.Policy == PolicyThrive {
+			hist = e.fitHistory(s.pkt, s.idx)
+		}
+		for pi, pk := range s.ps {
+			c := e.siblingCost(s, pk, syms, n)
+			if hist != nil {
+				c += e.historyCost(hist, pk.Height)
+			}
+			s.costs[pi] = c
+		}
+	}
+
+	// Greedy assignment (paper §5.3.4).
+	for remaining := m; remaining > 0; remaining-- {
+		sel := e.selectSymbol(syms)
+		if sel == nil {
+			break
+		}
+		e.assignBest(sel, syms, n)
+	}
+	// Any symbol left without peaks falls back to its strongest bin.
+	for _, s := range syms {
+		if s.alive {
+			e.finalize(s, peaks.HighestBin(s.y), s.y[peaks.HighestBin(s.y)])
+		}
+	}
+}
+
+// maskKnownInto removes peaks of a known source (preamble of any packet, or
+// all symbols of a decoded packet) from the target symbol's working vector.
+func (e *Engine) maskKnownInto(target *symbol, src *PacketState, symSamples, n int) {
+	for _, j := range overlappingIndices(src, target.start, symSamples) {
+		bin, ok := knownBin(src, j)
+		if !ok {
+			continue
+		}
+		pos := math.Mod(float64(bin)+target.pkt.Calc.Alpha()-src.Calc.Alpha(), float64(n))
+		peaks.MaskPeak(target.y, pos)
+	}
+}
+
+// overlappingIndices returns the (possibly preamble) symbol indices of pkt
+// that overlap the symbol starting at start.
+func overlappingIndices(pkt *PacketState, start float64, symSamples int) []int {
+	s0 := pkt.Calc.SymbolStart(0)
+	j0 := int(math.Floor((start - s0) / float64(symSamples)))
+	var out []int
+	for _, j := range []int{j0, j0 + 1} {
+		if pkt.Calc.InRange(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// knownBin returns the known peak bin of packet symbol j: preamble upchirps
+// and sync symbols are always known; data symbols only for decoded packets.
+// The 2.25 downchirps spread in up-dechirped windows and produce no peak.
+func knownBin(ps *PacketState, j int) (int, bool) {
+	if j < 0 {
+		k := j + lora.PreambleUpchirps + lora.SyncSymbols
+		switch {
+		case k < 0:
+			return 0, false
+		case k < lora.PreambleUpchirps:
+			return 0, true
+		case k == lora.PreambleUpchirps:
+			return lora.SyncShift1, true
+		default:
+			return lora.SyncShift2, true
+		}
+	}
+	if ps.Known && j < len(ps.KnownShifts) {
+		return ps.KnownShifts[j], true
+	}
+	// Peaks assigned in this pass but not yet CRC-verified are NOT known
+	// (paper §5.3.4): masking them would let one wrong assignment cascade
+	// into masking a victim packet's true peak at the next checking point.
+	return 0, false
+}
+
+// siblingHeight returns the height of the sibling of (bin in s) inside
+// other symbol os: a located peak within ±1 bin of the expected position,
+// or the raw signal-vector value there (paper §5.3.3).
+func siblingHeight(s *symbol, bin float64, os *symbol, n int) float64 {
+	pos := math.Mod(bin+os.pkt.Calc.Alpha()-s.pkt.Calc.Alpha(), float64(n))
+	if pos < 0 {
+		pos += float64(n)
+	}
+	best := 0.0
+	found := false
+	for _, pk := range os.ps {
+		if circDist(float64(pk.Bin), pos, n) <= 1.5 {
+			if pk.Height > best {
+				best, found = pk.Height, true
+			}
+		}
+	}
+	if found {
+		return best
+	}
+	return os.pkt.Calc.ValueAt(os.idx, pos)
+}
+
+// siblingCost computes Eq. 1 for a peak of symbol s: its height relative to
+// the tallest sibling across the signal vectors of the other packets'
+// overlapping symbols, including the packet's own adjacent symbols' view.
+func (e *Engine) siblingCost(s *symbol, pk peaks.Peak, syms []*symbol, n int) float64 {
+	hStar := pk.Height
+	for _, os := range syms {
+		if os == s || os.pkt == s.pkt {
+			continue
+		}
+		if h := siblingHeight(s, float64(pk.Bin), os, n); h > hStar {
+			hStar = h
+		}
+		// The same transmitted peak also lands in the neighbor symbols of
+		// the other packet; approximate their view with the raw vector
+		// value at the expected position.
+		for _, dj := range []int{-1, 1} {
+			j := os.idx + dj
+			if !os.pkt.Calc.InRange(j) {
+				continue
+			}
+			pos := math.Mod(float64(pk.Bin)+os.pkt.Calc.Alpha()-s.pkt.Calc.Alpha(), float64(n))
+			if h := os.pkt.Calc.ValueAt(j, pos); h > hStar {
+				hStar = h
+			}
+		}
+	}
+	if hStar <= 0 {
+		return 0
+	}
+	r := 1 - pk.Height/hStar
+	return r * r
+}
+
+type historyFit struct {
+	a, d float64
+}
+
+// fitHistory estimates the expected peak height A and deviation D for the
+// packet's symbol idx from the smoothed history of observed heights
+// (preamble peaks plus assigned data peaks; paper §5.3.3 and Fig. 6).
+func (e *Engine) fitHistory(ps *PacketState, idx int) *historyFit {
+	var h []float64
+	if ps.PriorHeights != nil {
+		// Second pass: fit over the full prior observation and read the
+		// fitted value at the symbol itself.
+		h = append(h, ps.historySeed...)
+		h = append(h, ps.PriorHeights...)
+		fit := stats.MovingAverage(h, e.cfg.SmoothWindow)
+		at := len(ps.historySeed) + idx
+		if at >= len(fit) {
+			at = len(fit) - 1
+		}
+		return &historyFit{a: fit[at], d: stats.MedianAbsResiduals(h, fit)}
+	}
+	h = append(h, ps.historySeed...)
+	for j := 0; j < idx; j++ {
+		if ps.Assigned[j] >= 0 {
+			h = append(h, ps.Heights[j])
+		}
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	fit := stats.MovingAverage(h, e.cfg.SmoothWindow)
+	return &historyFit{a: fit[len(fit)-1], d: stats.MedianAbsResiduals(h, fit)}
+}
+
+// historyCost computes Eq. 2.
+func (e *Engine) historyCost(f *historyFit, eta float64) float64 {
+	u := f.a + e.cfg.HistorySpread*f.d
+	l := math.Max(0, f.a-e.cfg.HistorySpread*f.d)
+	switch {
+	case eta > u:
+		if eta <= 0 {
+			return 0
+		}
+		r := 1 - u/eta
+		return e.cfg.Omega * r * r
+	case eta >= l:
+		return 0
+	default:
+		if l <= 0 {
+			return 0
+		}
+		r := 1 - eta/l
+		return e.cfg.Omega * r * r
+	}
+}
+
+// selectSymbol picks the next symbol per §5.3.4: the symbol owning a
+// minimum-cost peak; ties break toward the symbol with the fewest
+// minimum-cost peaks.
+func (e *Engine) selectSymbol(syms []*symbol) *symbol {
+	const eps = 1e-12
+	minCost := math.Inf(1)
+	for _, s := range syms {
+		if !s.alive {
+			continue
+		}
+		for pi := range s.ps {
+			if s.costs[pi] < minCost {
+				minCost = s.costs[pi]
+			}
+		}
+	}
+	if math.IsInf(minCost, 1) {
+		return nil
+	}
+	var sel *symbol
+	selCount := 0
+	for _, s := range syms {
+		if !s.alive {
+			continue
+		}
+		count := 0
+		for pi := range s.ps {
+			if s.costs[pi] <= minCost+eps {
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		if sel == nil || count < selCount {
+			sel, selCount = s, count
+		}
+	}
+	return sel
+}
+
+// assignBest assigns the minimum-cost peak of sel, records the runner-up
+// as the symbol's alternate, masks the chosen peak's siblings in the
+// remaining symbols, and retires sel.
+func (e *Engine) assignBest(sel *symbol, syms []*symbol, n int) {
+	best, bi := math.Inf(1), -1
+	second, si := math.Inf(1), -1
+	for pi := range sel.ps {
+		switch {
+		case sel.costs[pi] < best:
+			second, si = best, bi
+			best, bi = sel.costs[pi], pi
+		case sel.costs[pi] < second:
+			second, si = sel.costs[pi], pi
+		}
+	}
+	if bi < 0 {
+		e.finalize(sel, peaks.HighestBin(sel.y), sel.y[peaks.HighestBin(sel.y)])
+		return
+	}
+	if si >= 0 {
+		sel.pkt.Alternates[sel.idx] = sel.ps[si].Bin
+	}
+	pk := sel.ps[bi]
+	e.finalize(sel, pk.Bin, pk.Height)
+	for _, os := range syms {
+		if !os.alive || os == sel {
+			continue
+		}
+		pos := math.Mod(float64(pk.Bin)+os.pkt.Calc.Alpha()-sel.pkt.Calc.Alpha(), float64(n))
+		if pos < 0 {
+			pos += float64(n)
+		}
+		filtered := os.ps[:0]
+		kept := make([]float64, 0, len(os.costs))
+		for pi, opk := range os.ps {
+			if circDist(float64(opk.Bin), pos, n) <= 1.5 {
+				continue
+			}
+			filtered = append(filtered, opk)
+			kept = append(kept, os.costs[pi])
+		}
+		os.ps, os.costs = filtered, kept
+		peaks.MaskPeak(os.y, pos)
+	}
+}
+
+func (e *Engine) finalize(s *symbol, bin int, height float64) {
+	s.pkt.Assigned[s.idx] = bin
+	s.pkt.Heights[s.idx] = height
+	s.alive = false
+}
+
+// assignAlignTrack implements the AlignTrack* policy: every symbol takes
+// the peak that is higher in its own signal vector than in any other
+// symbol's vector. When several peaks qualify, the choice is arbitrary
+// (the strongest is taken) — the failure mode paper §8.4 analyzes.
+func (e *Engine) assignAlignTrack(syms []*symbol, n int) {
+	for _, s := range syms {
+		var aligned []peaks.Peak
+		for _, pk := range s.ps {
+			highest := true
+			for _, os := range syms {
+				if os == s || os.pkt == s.pkt {
+					continue
+				}
+				if siblingHeight(s, float64(pk.Bin), os, n) > pk.Height {
+					highest = false
+					break
+				}
+			}
+			if highest {
+				aligned = append(aligned, pk)
+			}
+		}
+		switch {
+		case len(aligned) > 0:
+			// Arbitrary choice among aligned peaks: take the first
+			// (peaks are sorted by height, so the strongest).
+			e.finalize(s, aligned[0].Bin, aligned[0].Height)
+		case len(s.ps) > 0:
+			e.finalize(s, s.ps[0].Bin, s.ps[0].Height)
+		default:
+			hb := peaks.HighestBin(s.y)
+			e.finalize(s, hb, s.y[hb])
+		}
+	}
+}
+
+func circDist(a, b float64, n int) float64 {
+	d := math.Abs(math.Mod(a-b, float64(n)))
+	if d > float64(n)/2 {
+		d = float64(n) - d
+	}
+	return d
+}

@@ -1,0 +1,100 @@
+// Package trace provides the received-signal containers and the synthetic
+// trace builder that substitutes for the paper's USRP captures. A trace
+// holds per-antenna complex baseband sample streams; the builder composes
+// LoRa packets from many nodes at arbitrary (fractional) start times with
+// per-node SNR, CFO and channel models, then adds unit-power AWGN.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace is a multi-antenna baseband capture.
+type Trace struct {
+	SampleRate float64
+	Antennas   [][]complex128
+}
+
+// NewTrace allocates a zeroed capture of n samples on the given number of
+// antennas.
+func NewTrace(sampleRate float64, antennas, n int) *Trace {
+	t := &Trace{SampleRate: sampleRate, Antennas: make([][]complex128, antennas)}
+	for a := range t.Antennas {
+		t.Antennas[a] = make([]complex128, n)
+	}
+	return t
+}
+
+// Len returns the number of samples per antenna.
+func (t *Trace) Len() int {
+	if len(t.Antennas) == 0 {
+		return 0
+	}
+	return len(t.Antennas[0])
+}
+
+// NumAntennas returns the antenna count.
+func (t *Trace) NumAntennas() int { return len(t.Antennas) }
+
+// iq16Scale maps the unit float range onto int16, leaving headroom for
+// constructive collisions.
+const iq16Scale = 4096
+
+// WriteIQ16 writes antenna 0 as interleaved little-endian int16 I/Q pairs,
+// the layout of the paper's USRP B210 dumps (artifact appendix B.3.4).
+func WriteIQ16(w io.Writer, t *Trace) error {
+	if t.NumAntennas() == 0 {
+		return fmt.Errorf("trace: no antennas to write")
+	}
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 4)
+	for _, v := range t.Antennas[0] {
+		i := clampInt16(real(v) * iq16Scale)
+		q := clampInt16(imag(v) * iq16Scale)
+		binary.LittleEndian.PutUint16(buf[0:2], uint16(i))
+		binary.LittleEndian.PutUint16(buf[2:4], uint16(q))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIQ16 reads an interleaved int16 I/Q stream into a single-antenna
+// trace.
+func ReadIQ16(r io.Reader, sampleRate float64) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var samples []complex128
+	buf := make([]byte, 4)
+	for {
+		_, err := io.ReadFull(br, buf)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("trace: truncated IQ pair at sample %d", len(samples))
+		}
+		if err != nil {
+			return nil, err
+		}
+		i := int16(binary.LittleEndian.Uint16(buf[0:2]))
+		q := int16(binary.LittleEndian.Uint16(buf[2:4]))
+		samples = append(samples, complex(float64(i)/iq16Scale, float64(q)/iq16Scale))
+	}
+	return &Trace{SampleRate: sampleRate, Antennas: [][]complex128{samples}}, nil
+}
+
+func clampInt16(v float64) int16 {
+	r := math.Round(v)
+	if r > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if r < math.MinInt16 {
+		return math.MinInt16
+	}
+	return int16(r)
+}

@@ -1,0 +1,21 @@
+#!/bin/bash
+# Regenerates the paper's figures at laptop scale for EXPERIMENTS.md.
+set -x
+cd /root/repo
+D=4     # seconds per run (paper: 30)
+go run ./cmd/becprob -trials 40000                      > results/fig20.txt 2>&1
+go run ./cmd/tnbsim -fig 10 -sf 8  -duration $D         > results/fig10_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 11       -duration $D          > results/fig11.txt 2>&1
+go run ./cmd/tnbsim -fig 12 -sf 8  -duration $D         > results/fig12_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 13 -sf 8  -duration $D         > results/fig13_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 14 -sf 8  -duration $D         > results/fig14_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 15 -sf 8  -duration $D         > results/fig15_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 16 -sf 8 -cr 3 -duration $D    > results/fig16_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 17 -sf 8  -duration $D         > results/fig17_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 18       -duration $D          > results/fig18.txt 2>&1
+go run ./cmd/tnbsim -fig 19 -sf 8  -duration $D         > results/fig19_sf8.txt 2>&1
+go run ./cmd/tnbsim -fig 12 -sf 10 -duration $D         > results/fig12_sf10.txt 2>&1
+go run ./cmd/tnbsim -fig 15 -sf 10 -duration $D         > results/fig15_sf10.txt 2>&1
+go run ./cmd/tnbsim -fig 19 -sf 10 -duration $D         > results/fig19_sf10.txt 2>&1
+go run ./cmd/tnbsim -fig 10 -sf 10 -duration $D         > results/fig10_sf10.txt 2>&1
+echo DONE > results/STATUS

@@ -1,0 +1,89 @@
+package tnb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tnb/internal/lora"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	params := Params(8, 4)
+	rng := rand.New(rand.NewSource(1))
+	b := NewTraceBuilder(params, 0.6, 1, rng)
+	payload := []byte("public api test")
+	if err := b.AddPacket(3, 1, payload, 15000.5, 12, -1800, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr, truth := b.Build()
+	if len(truth) != 1 {
+		t.Fatalf("%d records", len(truth))
+	}
+	rx := NewReceiver(ReceiverConfig{Params: params, UseBEC: true})
+	decoded := rx.Decode(tr)
+	if len(decoded) != 1 || !bytes.Equal(decoded[0].Payload, payload) {
+		t.Fatalf("decode failed: %v", decoded)
+	}
+}
+
+func TestPublicEncode(t *testing.T) {
+	shifts, err := Encode(Params(8, 2), []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) <= lora.HeaderSymbols {
+		t.Errorf("%d shifts", len(shifts))
+	}
+	if _, err := Encode(Params(8, 2), make([]byte, 300)); err == nil {
+		t.Error("expected error for oversized payload")
+	}
+}
+
+func TestPublicBECDecode(t *testing.T) {
+	blk := lora.NewBlock(8, 8)
+	for r := 0; r < 8; r++ {
+		blk.SetRowCodeword(r, lora.HammingEncode(uint8(r), 4))
+	}
+	res := DecodeBlockBEC(blk, 4)
+	if !res.NoError {
+		t.Error("clean block should report NoError")
+	}
+}
+
+func TestPublicDeployments(t *testing.T) {
+	if DeploymentIndoor.Nodes != 19 || DeploymentOutdoor1.Nodes != 25 || DeploymentOutdoor2.Nodes != 25 {
+		t.Error("deployment node counts must match the paper")
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	cfg := Experiment{
+		Deployment:    Deployment{Name: "api", Nodes: 4, MeanDB: 12, SpreadDB: 3, MinDB: 5, MaxDB: 20},
+		SF:            8,
+		CR:            4,
+		LoadPktPerSec: 4,
+		DurationSec:   1.0,
+		Seed:          2,
+	}
+	res, err := RunExperiment(cfg, SchemeTnB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 4 {
+		t.Errorf("sent %d", res.Sent)
+	}
+	if res.Decoded == 0 {
+		t.Error("nothing decoded at trivial load")
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	p := Params(8, 4)
+	if NewCICReceiver(p, true) == nil || NewLoRaPHYReceiver(p) == nil {
+		t.Fatal("constructors returned nil")
+	}
+}
