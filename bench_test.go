@@ -16,8 +16,11 @@ import (
 	"testing"
 
 	"tnb/internal/bec"
+	"tnb/internal/core"
 	"tnb/internal/lora"
+	"tnb/internal/metrics"
 	"tnb/internal/sim"
+	"tnb/internal/trace"
 )
 
 // BenchmarkTable1BECCapability measures BEC's block decoding across the
@@ -462,4 +465,37 @@ func BenchmarkExtendedBaselines(b *testing.B) {
 			b.ReportMetric(prr, "prr")
 		})
 	}
+}
+
+// BenchmarkReceiver measures one full pipeline run (detect → signal calc →
+// Thrive → BEC, both passes) over a collided trace, bare and with the
+// metrics subsystem recording — the instrumentation is atomics plus four
+// clock reads per window, so the two must be indistinguishable.
+func BenchmarkReceiver(b *testing.B) {
+	p := lora.MustParams(8, 4, 125e3, 8)
+	rng := rand.New(rand.NewSource(7))
+	tb := trace.NewBuilder(p, 1.5, 1, rng)
+	starts := tb.ScheduleUniform(6, 14)
+	for i, s := range starts {
+		payload := make([]uint8, 14)
+		rng.Read(payload)
+		if err := tb.AddPacket(i, 0, payload, s, 10, -3000+float64(i)*1200, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tr, _ := tb.Build()
+
+	run := func(b *testing.B, met *core.PipelineMetrics) {
+		rx := core.NewReceiver(core.Config{Params: p, UseBEC: true, Metrics: met})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(rx.Decode(tr)) == 0 {
+				b.Fatal("nothing decoded")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, core.NewPipelineMetrics(metrics.NewRegistry()))
+	})
 }

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	tnbgateway -listen :7002
+//	tnbgateway -listen :7002 -metrics :9090
 //
 // Feed it with cmd/tnbfeed, or from any SDR pipeline that can emit int16
-// IQ over TCP.
+// IQ over TCP. With -metrics set, an HTTP ops endpoint serves
+// GET /metrics (Prometheus text), GET /metrics.json and GET /healthz —
+// per-stage pipeline latencies, packet counters and connection gauges.
 package main
 
 import (
@@ -19,19 +21,29 @@ import (
 	"syscall"
 
 	"tnb/internal/gateway"
+	"tnb/internal/metrics"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7002", "TCP listen address")
+	metricsAddr := flag.String("metrics", "", "HTTP ops listen address (e.g. :9090); empty disables")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := &gateway.Server{}
+	srv := &gateway.Server{Registry: metrics.Default}
 	if !*quiet {
 		srv.Logf = log.Printf
+	}
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("tnb gateway ops endpoint on %s (/metrics, /metrics.json, /healthz)", *metricsAddr)
+			if err := metrics.ListenAndServe(ctx, *metricsAddr, metrics.Default); err != nil {
+				log.Fatalf("metrics endpoint: %v", err)
+			}
+		}()
 	}
 	if err := srv.ListenAndServe(ctx, *listen); err != nil {
 		log.Fatal(err)

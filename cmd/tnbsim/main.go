@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"tnb/internal/metrics"
 	"tnb/internal/sim"
 )
 
@@ -29,6 +30,7 @@ func main() {
 		runs     = flag.Int("runs", 1, "runs averaged per point (paper: 3)")
 		nodes    = flag.Int("nodes", 0, "override node count (0 = paper's)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		metaOut  = flag.String("metrics-out", "", "write the pipeline metrics registry as JSON to this file (same schema as the gateway's /metrics.json)")
 	)
 	flag.Parse()
 
@@ -143,6 +145,27 @@ func main() {
 	default:
 		log.Fatalf("figure %d not handled here (Fig. 20: cmd/becprob; Tables 1-2: go test -bench Table)", *fig)
 	}
+
+	if *metaOut != "" {
+		if err := dumpMetrics(*metaOut); err != nil {
+			log.Fatalf("metrics-out: %v", err)
+		}
+	}
+}
+
+// dumpMetrics writes the process registry — populated by every receiver the
+// run built — as JSON, so offline experiments and live gateways share one
+// observability schema.
+func dumpMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // scaleLoad picks the ETU traffic load so the strongest scheme stays near

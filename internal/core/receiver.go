@@ -48,6 +48,10 @@ type Config struct {
 	ListDecodeBudget int
 	// Seed drives BEC's random candidate sampling.
 	Seed int64
+	// Metrics receives per-stage latencies and pipeline counters; nil
+	// disables instrumentation (the sample path is then a nil check).
+	// Use DefaultPipelineMetrics() to record into the process registry.
+	Metrics *PipelineMetrics
 }
 
 // Decoded is one successfully decoded packet.
@@ -68,6 +72,7 @@ type Receiver struct {
 	detector *detect.Detector
 	demod    *lora.Demodulator
 	rng      *rand.Rand
+	met      *PipelineMetrics
 }
 
 // NewReceiver builds a receiver for the parameter set in cfg.
@@ -81,6 +86,7 @@ func NewReceiver(cfg Config) *Receiver {
 		detector: d,
 		demod:    d.Demodulator(),
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		met:      cfg.Metrics,
 	}
 }
 
@@ -92,20 +98,27 @@ func (r *Receiver) Decode(tr *trace.Trace) []Decoded {
 
 // DecodeSamples is Decode for raw per-antenna sample slices.
 func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
+	t0 := r.met.now()
 	pkts := r.detector.Detect(antennas)
+	r.met.observeDetect(t0)
+	r.met.onDetected(len(pkts))
 	if len(pkts) == 0 {
 		return nil
 	}
 	p := r.cfg.Params
 	traceLen := len(antennas[0])
 
+	t0 = r.met.now()
 	states := make([]*thrive.PacketState, len(pkts))
 	for i, pk := range pkts {
 		states[i] = thrive.NewPacketState(i, r.newCalc(antennas, pk, traceLen))
 	}
+	r.met.observeSigCalc(t0)
 
 	engine := thrive.NewEngine(p, thrive.Config{Policy: r.cfg.Policy, Omega: r.cfg.Omega})
+	t0 = r.met.now()
 	engine.Run(states, traceLen)
+	r.met.observeThrive(t0)
 
 	var out []Decoded
 	decodedIdx := map[int]bool{}
@@ -145,6 +158,8 @@ func (r *Receiver) newCalc(antennas [][]complex128, pk detect.Packet, traceLen i
 
 // decodeAssigned turns a packet's assigned peak bins into a payload.
 func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass int) (Decoded, bool) {
+	t0 := r.met.now()
+	defer r.met.observeDecode(t0)
 	p := r.cfg.Params
 	shifts := make([]int, len(st.Assigned))
 	for i, b := range st.Assigned {
@@ -174,6 +189,7 @@ func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass
 		hdr, payload, rescued, ok = r.listDecode(st, shifts, decodeOnce)
 	}
 	if !ok {
+		r.met.onDecodeFailed()
 		return Decoded{}, false
 	}
 
@@ -186,7 +202,7 @@ func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass
 		st.KnownShifts = trueShifts
 	}
 
-	return Decoded{
+	dec := Decoded{
 		Payload:   payload,
 		Header:    hdr,
 		Start:     pk.Start,
@@ -194,7 +210,9 @@ func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass
 		SNRdB:     r.estimateSNR(st),
 		Rescued:   rescued,
 		Pass:      pass,
-	}, true
+	}
+	r.met.onDecoded(dec)
+	return dec, true
 }
 
 // listDecode retries the packet with the runner-up peak substituted one
@@ -263,6 +281,7 @@ func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 	states []*thrive.PacketState, decodedIdx map[int]bool, traceLen int,
 	engine *thrive.Engine) []Decoded {
 
+	t0 := r.met.now()
 	retry := make([]*thrive.PacketState, len(pkts))
 	for i, pk := range pkts {
 		st := thrive.NewPacketState(i, r.newCalc(antennas, pk, traceLen))
@@ -274,7 +293,10 @@ func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 		}
 		retry[i] = st
 	}
+	r.met.observeSigCalc(t0)
+	t0 = r.met.now()
 	engine.Run(retry, traceLen)
+	r.met.observeThrive(t0)
 
 	var out []Decoded
 	for i, st := range retry {

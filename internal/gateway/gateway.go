@@ -23,6 +23,7 @@ import (
 
 	"tnb/internal/core"
 	"tnb/internal/lora"
+	"tnb/internal/metrics"
 	"tnb/internal/stream"
 )
 
@@ -33,6 +34,26 @@ type Hello struct {
 	Bandwidth float64 `json:"bandwidth_hz,omitempty"`
 	OSF       int     `json:"osf,omitempty"`
 	UseBEC    *bool   `json:"use_bec,omitempty"` // default true
+}
+
+// Validate checks the hello's radio parameters before a receiver is built.
+// Zero values select defaults (CR 4, 125 kHz, OSF 8); anything else out of
+// range is rejected so the client gets a clear one-line JSON error instead
+// of a silent mid-stream failure.
+func (h Hello) Validate() error {
+	if h.SF < 6 || h.SF > 12 {
+		return fmt.Errorf("hello: sf %d out of range [6, 12]", h.SF)
+	}
+	if h.CR < 0 || h.CR > 4 {
+		return fmt.Errorf("hello: cr %d out of range [1, 4] (0 selects CR 4)", h.CR)
+	}
+	if h.Bandwidth < 0 {
+		return fmt.Errorf("hello: bandwidth_hz %g must be positive (0 selects 125 kHz)", h.Bandwidth)
+	}
+	if h.OSF < 0 || h.OSF > 64 {
+		return fmt.Errorf("hello: osf %d out of range [1, 64] (0 selects 8)", h.OSF)
+	}
+	return nil
 }
 
 // Report is one decoded packet, emitted as a JSON line.
@@ -51,10 +72,35 @@ type Report struct {
 type Server struct {
 	// Logf receives connection-level diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, wires the full instrumentation stack:
+	// gateway connection metrics plus the per-stage receiver and streamer
+	// instruments of every connection. Use metrics.Default to share the
+	// process-wide registry served by the -metrics endpoint.
+	Registry *metrics.Registry
 
 	mu sync.Mutex
 	ln net.Listener
 	wg sync.WaitGroup
+
+	metOnce sync.Once
+	met     *Metrics
+	pmet    *core.PipelineMetrics
+	smet    *stream.Metrics
+}
+
+// instruments lazily builds the server's metric handles from s.Registry.
+// With no registry everything stays nil, and the nil-safe methods make the
+// whole instrumentation a no-op.
+func (s *Server) instruments() (*Metrics, *core.PipelineMetrics, *stream.Metrics) {
+	s.metOnce.Do(func() {
+		if s.Registry == nil {
+			return
+		}
+		s.met = NewMetrics(s.Registry)
+		s.pmet = core.NewPipelineMetrics(s.Registry)
+		s.smet = stream.NewMetrics(s.Registry)
+	})
+	return s.met, s.pmet, s.smet
 }
 
 // Serve accepts connections on ln until the context is canceled or the
@@ -96,9 +142,23 @@ func (s *Server) logf(format string, args ...any) {
 
 // handle runs one client connection.
 func (s *Server) handle(conn net.Conn) error {
+	met, pmet, smet := s.instruments()
+	met.onConnOpen()
+	defer met.onConnClose()
+
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriter(conn)
 	enc := json.NewEncoder(bw)
+
+	// reject sends the client a one-line JSON error object before the
+	// connection closes, so misconfigured clients fail loudly at the hello
+	// instead of silently mid-stream.
+	reject := func(err error) error {
+		met.onHelloRejected()
+		enc.Encode(map[string]string{"error": err.Error()})
+		bw.Flush()
+		return err
+	}
 
 	line, err := br.ReadBytes('\n')
 	if err != nil {
@@ -106,30 +166,36 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 	var hello Hello
 	if err := json.Unmarshal(line, &hello); err != nil {
-		return fmt.Errorf("parsing hello: %w", err)
+		return reject(fmt.Errorf("parsing hello: %w", err))
+	}
+	if err := hello.Validate(); err != nil {
+		return reject(err)
 	}
 	params, err := lora.NewParams(hello.SF, orDefault(hello.CR, 4), hello.Bandwidth, hello.OSF)
 	if err != nil {
-		enc.Encode(map[string]string{"error": err.Error()})
-		bw.Flush()
-		return err
+		return reject(err)
 	}
 	useBEC := hello.UseBEC == nil || *hello.UseBEC
 
 	st, err := stream.New(stream.Config{
-		Receiver: core.Config{Params: params, UseBEC: useBEC},
+		Receiver: core.Config{Params: params, UseBEC: useBEC, Metrics: pmet},
+		Metrics:  smet,
 	})
 	if err != nil {
 		return err
 	}
 	s.logf("conn %s: %v BEC=%v", conn.RemoteAddr(), params, useBEC)
 
-	emit := func(ds []stream.Decoded) error {
+	emit := func(ds []stream.Decoded, err error) error {
+		if err != nil {
+			return err
+		}
 		for _, d := range ds {
 			if err := enc.Encode(toReport(d, params)); err != nil {
 				return err
 			}
 		}
+		met.onReports(len(ds))
 		return bw.Flush()
 	}
 
@@ -140,6 +206,7 @@ func (s *Server) handle(conn net.Conn) error {
 	for {
 		n, err := io.ReadFull(br, raw)
 		if n > 0 {
+			met.onBytesIn(n)
 			n -= n % 4
 			samples = samples[:0]
 			for i := 0; i < n; i += 4 {

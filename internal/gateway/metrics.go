@@ -1,0 +1,71 @@
+package gateway
+
+import (
+	"sync"
+
+	"tnb/internal/metrics"
+)
+
+// Metrics instruments the network front-end. All methods are nil-safe.
+type Metrics struct {
+	ConnectionsActive *metrics.Gauge   // currently open client connections
+	ConnectionsTotal  *metrics.Counter // connections accepted since start
+	HelloRejected     *metrics.Counter // connections dropped at the hello line
+	BytesIn           *metrics.Counter // raw IQ bytes read from clients
+	ReportsOut        *metrics.Counter // decoded-packet reports written
+}
+
+// NewMetrics registers the gateway instruments on reg. Registration is
+// get-or-create, so calling it twice with the same registry returns the
+// same instruments — tests use that to read what a Server recorded.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		ConnectionsActive: reg.Gauge("tnb_gateway_connections_active"),
+		ConnectionsTotal:  reg.Counter("tnb_gateway_connections_total"),
+		HelloRejected:     reg.Counter("tnb_gateway_hello_rejected_total"),
+		BytesIn:           reg.Counter("tnb_gateway_bytes_in_total"),
+		ReportsOut:        reg.Counter("tnb_gateway_reports_out_total"),
+	}
+}
+
+var (
+	defaultMetricsOnce sync.Once
+	defaultMetrics     *Metrics
+)
+
+// DefaultMetrics returns the shared gateway instruments on metrics.Default.
+func DefaultMetrics() *Metrics {
+	defaultMetricsOnce.Do(func() { defaultMetrics = NewMetrics(metrics.Default) })
+	return defaultMetrics
+}
+
+func (m *Metrics) onConnOpen() {
+	if m != nil {
+		m.ConnectionsTotal.Inc()
+		m.ConnectionsActive.Inc()
+	}
+}
+
+func (m *Metrics) onConnClose() {
+	if m != nil {
+		m.ConnectionsActive.Dec()
+	}
+}
+
+func (m *Metrics) onHelloRejected() {
+	if m != nil {
+		m.HelloRejected.Inc()
+	}
+}
+
+func (m *Metrics) onBytesIn(n int) {
+	if m != nil {
+		m.BytesIn.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) onReports(n int) {
+	if m != nil {
+		m.ReportsOut.Add(uint64(n))
+	}
+}

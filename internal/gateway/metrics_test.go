@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tnb/internal/metrics"
+	"tnb/internal/trace"
+)
+
+func startServerWithRegistry(t *testing.T, reg *metrics.Registry) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &Server{Logf: t.Logf, Registry: reg}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	return ln.Addr().String(), func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	}
+}
+
+// TestGatewayConcurrentClientsMetrics streams two clients concurrently in
+// small interleaved chunks (run under -race in CI), asserting each client
+// receives reports for its own packets only and that the connection gauge
+// returns to zero once both connections close.
+func TestGatewayConcurrentClientsMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	addr, stop := startServerWithRegistry(t, reg)
+	defer stop()
+	met := NewMetrics(reg) // same instruments the server registered
+
+	type clientRun struct {
+		recs    []trace.TxRecord
+		reports []Report
+		err     error
+	}
+	runs := make([]clientRun, 2)
+	var wg sync.WaitGroup
+	for i := range runs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, recs, p := buildGatewayTrace(t, 950+int64(i), 3)
+			runs[i].recs = recs
+			c, err := Dial(addr, Hello{SF: p.SF, CR: p.CR})
+			if err != nil {
+				runs[i].err = err
+				return
+			}
+			// Small chunks so the two streams interleave on the server.
+			samples := tr.Antennas[0]
+			for off := 0; off < len(samples); off += 60_000 {
+				end := off + 60_000
+				if end > len(samples) {
+					end = len(samples)
+				}
+				if err := c.Send(samples[off:end]); err != nil {
+					runs[i].err = err
+					return
+				}
+			}
+			runs[i].reports, runs[i].err = c.Finish()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range runs {
+		if r.err != nil {
+			t.Fatalf("client %d: %v", i, r.err)
+		}
+		if len(r.reports) == 0 {
+			t.Errorf("client %d received no reports", i)
+		}
+		// Every report must match one of this client's own transmissions —
+		// connections must not leak each other's packets.
+		other := runs[1-i].recs
+		for _, rep := range r.reports {
+			own := false
+			for _, rec := range r.recs {
+				if bytes.Equal(rep.Payload, rec.Payload) {
+					own = true
+					break
+				}
+			}
+			for _, rec := range other {
+				if bytes.Equal(rep.Payload, rec.Payload) {
+					t.Errorf("client %d received client %d's packet", i, 1-i)
+				}
+			}
+			if !own {
+				t.Errorf("client %d received an unknown payload %x", i, rep.Payload)
+			}
+		}
+	}
+
+	if v := met.ConnectionsTotal.Value(); v != 2 {
+		t.Errorf("connections total = %d, want 2", v)
+	}
+	if v := met.ConnectionsActive.Value(); v != 0 {
+		t.Errorf("connections active = %d after close, want 0", v)
+	}
+	if met.BytesIn.Value() == 0 {
+		t.Error("no bytes counted in")
+	}
+	var want uint64
+	for _, r := range runs {
+		want += uint64(len(r.reports))
+	}
+	if v := met.ReportsOut.Value(); v != want {
+		t.Errorf("reports out = %d, want %d", v, want)
+	}
+
+	// The per-stage pipeline instruments must have fired for all four
+	// stages via the connections' receivers.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"detect", "sigcalc", "thrive", "decode"} {
+		needle := `tnb_stage_duration_seconds_count{stage="` + stage + `"}`
+		out := sb.String()
+		idx := strings.Index(out, needle)
+		if idx < 0 {
+			t.Errorf("stage %q missing from exposition", stage)
+			continue
+		}
+		line := out[idx:]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+		}
+		if strings.HasSuffix(line, " 0") {
+			t.Errorf("stage %q recorded no samples: %s", stage, line)
+		}
+	}
+}
+
+// TestGatewayHelloValidation sends out-of-range radio parameters and checks
+// each is rejected with a one-line JSON error object and counted.
+func TestGatewayHelloValidation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	addr, stop := startServerWithRegistry(t, reg)
+	defer stop()
+	met := NewMetrics(reg)
+
+	cases := []string{
+		`{"sf": 5}`,                     // SF below range
+		`{"sf": 13}`,                    // SF above range
+		`{"sf": 8, "cr": 9}`,            // CR out of range
+		`{"sf": 8, "bandwidth_hz": -1}`, // negative bandwidth
+		`{"sf": 8, "osf": -2}`,          // negative OSF
+		`this is not json`,              // malformed hello
+	}
+	for _, hello := range cases {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(hello + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var resp map[string]string
+		if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+			t.Errorf("hello %q: no JSON error reply: %v", hello, err)
+		} else if resp["error"] == "" {
+			t.Errorf("hello %q: empty error message: %v", hello, resp)
+		}
+		conn.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for met.HelloRejected.Value() != uint64(len(cases)) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := met.HelloRejected.Value(); v != uint64(len(cases)) {
+		t.Errorf("hello rejected = %d, want %d", v, len(cases))
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns the ops endpoint for a registry:
+//
+//	GET /metrics       Prometheus text exposition
+//	GET /metrics.json  the same registry as JSON (tnbsim's dump schema)
+//	GET /healthz       200 "ok" — liveness only
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// ListenAndServe serves Handler(r) on addr until ctx is canceled. It returns
+// the error from the HTTP server, or nil on clean shutdown.
+func ListenAndServe(ctx context.Context, addr string, r *Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, r)
+}
+
+// Serve is ListenAndServe on an existing listener.
+func Serve(ctx context.Context, ln net.Listener, r *Registry) error {
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(shutCtx)
+		case <-done:
+		}
+	}()
+	err := srv.Serve(ln)
+	close(done)
+	if ctx.Err() != nil && err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOpsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total").Add(42)
+	r.Histogram("ops_seconds", []float64{1}).Observe(0.5)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, ln, r) }()
+
+	base := "http://" + ln.Addr().String()
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "ops_total 42") || !strings.Contains(body, "ops_seconds_count 1") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+
+	body, ct = get("/metrics.json")
+	if ct != "application/json" {
+		t.Errorf("/metrics.json content-type %q", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if snap["ops_total"] != float64(42) {
+		t.Errorf("ops_total = %v", snap["ops_total"])
+	}
+
+	body, _ = get("/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("ops server did not shut down")
+	}
+}

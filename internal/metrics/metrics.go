@@ -1,0 +1,286 @@
+// Package metrics is the gateway's observability subsystem: a small,
+// dependency-free instrumentation library with atomic counters, gauges and
+// fixed-bucket streaming histograms, plus a registry that renders both the
+// Prometheus text exposition format and JSON.
+//
+// The sample path (Inc, Add, Set, Observe) is lock-free — a handful of
+// atomic operations — so instruments can sit on the receiver hot path
+// without measurable cost. Registration (Registry.Counter and friends) takes
+// a mutex and is meant to be done once, at setup; it is get-or-create, so
+// repeated registration of the same name returns the same instrument.
+//
+// Metric names follow the Prometheus convention and may carry a fixed label
+// set inline, e.g.
+//
+//	reg.Counter(`tnb_packets_decoded_total`)
+//	reg.Histogram(`tnb_stage_duration_seconds{stage="detect"}`, metrics.DurationBuckets)
+//
+// The label block, if present, must be last and is emitted verbatim.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a streaming histogram with a fixed bucket layout decided at
+// registration. Observations are cumulative-bucket counts in the Prometheus
+// style: bucket i counts observations ≤ upper[i], with an implicit +Inf
+// bucket equal to the total count.
+type Histogram struct {
+	upper   []float64 // sorted upper bounds, exclusive of +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; equal bounds are inclusive.
+	i := sort.SearchFloat64s(h.upper, v)
+	if i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start. A zero start is
+// ignored, so callers can thread a zero time.Time through disabled paths.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Start returns a named-timer handle for this histogram. Usage:
+//
+//	defer h.Start().Stop()
+func (h *Histogram) Start() Timer { return Timer{h: h, start: time.Now()} }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns cumulative bucket counts aligned with h.upper, plus the
+// total count and sum. Reads are atomic per field; a concurrent Observe may
+// straddle the snapshot, which Prometheus scraping tolerates.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.upper))
+	var running uint64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return cum, h.count.Load(), h.Sum()
+}
+
+// Timer measures one interval into a histogram, in seconds.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Stop records the elapsed time. Safe on the zero Timer (no-op).
+func (t Timer) Stop() {
+	if t.h != nil {
+		t.h.ObserveSince(t.start)
+	}
+}
+
+// DurationBuckets is the default layout for stage latencies: exponential
+// from 50 µs to ~27 s, wide enough for both a single detection window and a
+// full offline simulation pass.
+var DurationBuckets = ExpBuckets(50e-6, 3, 12)
+
+// SizeBuckets is the default layout for byte/sample sizes: exponential from
+// 1 KiB to 1 GiB.
+var SizeBuckets = ExpBuckets(1024, 4, 11)
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start
+// and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// metricKind discriminates the registry's stored instruments.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type entry struct {
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named instruments and renders them. The zero value is not
+// usable; use NewRegistry or the package-level Default.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Default is the process-wide registry. Commands serve or dump it;
+// instruments created without an explicit registry land here.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on first
+// use. It panics if name is invalid or already holds a different kind.
+func (r *Registry) Counter(name string) *Counter {
+	return r.lookup(name, kindCounter, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.lookup(name, kindGauge, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket layout on first use. Later calls ignore buckets and
+// return the existing instrument.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	return r.lookup(name, kindHistogram, func(e *entry) { e.h = newHistogram(buckets) }).h
+}
+
+// lookup returns the entry for name, creating and filling it (under r.mu)
+// with the requested kind on first use.
+func (r *Registry) lookup(name string, kind metricKind, fill func(*entry)) *entry {
+	if err := checkName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q already registered with a different kind", name))
+		}
+		return e
+	}
+	e := &entry{kind: kind}
+	fill(e)
+	r.entries[name] = e
+	return e
+}
+
+// checkName enforces "identifier, optionally followed by a {label} block at
+// the end" — enough structure for the renderers to splice histogram suffixes
+// correctly.
+func checkName(name string) error {
+	base, labels := splitName(name)
+	if base == "" {
+		return fmt.Errorf("metrics: empty metric name in %q", name)
+	}
+	for i, c := range base {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("metrics: invalid metric name %q", name)
+		}
+	}
+	if labels != "" && (!strings.HasPrefix(labels, "{") || !strings.HasSuffix(labels, "}") || len(labels) < 3) {
+		return fmt.Errorf("metrics: malformed label block in %q", name)
+	}
+	return nil
+}
+
+// splitName separates `base{labels}` into base and the `{...}` block
+// (empty when absent).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// sortedNames returns registered names sorted so that output is stable and
+// same-base metrics (label variants) are adjacent.
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+func (r *Registry) get(name string) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[name]
+}

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("test_total") != c {
+		t.Error("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("test_gauge")
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	if g.Value() != 10 {
+		t.Errorf("gauge = %d, want 10", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Errorf("gauge = %d, want -3", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-556.5) > 1e-9 {
+		t.Errorf("sum = %g, want 556.5", sum)
+	}
+	// ≤1: {0.5, 1}; ≤10: +{5}; ≤100: +{50}; +Inf picks up 500.
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestHistogramTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("timer_seconds", DurationBuckets)
+	tm := h.Start()
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("sum = %g, want > 0", h.Sum())
+	}
+	// Zero timer and zero start are safe no-ops.
+	Timer{}.Stop()
+	h.ObserveSince(time.Time{})
+	if h.Count() != 1 {
+		t.Errorf("zero-start observation was recorded")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "9leading", "has space", `bad{unclosed`, `{label="only"}`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name)
+		}()
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tnb_packets_total").Add(7)
+	r.Gauge("tnb_active").Set(2)
+	h := r.Histogram(`tnb_stage_duration_seconds{stage="detect"}`, []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tnb_packets_total counter",
+		"tnb_packets_total 7",
+		"# TYPE tnb_active gauge",
+		"tnb_active 2",
+		"# TYPE tnb_stage_duration_seconds histogram",
+		`tnb_stage_duration_seconds_bucket{stage="detect",le="0.01"} 1`,
+		`tnb_stage_duration_seconds_bucket{stage="detect",le="+Inf"} 2`,
+		`tnb_stage_duration_seconds_sum{stage="detect"} 0.505`,
+		`tnb_stage_duration_seconds_count{stage="detect"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestTypeLineSharedAcrossLabelVariants(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`x_total{k="a"}`).Inc()
+	r.Counter(`x_total{k="b"}`).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# TYPE x_total"); n != 1 {
+		t.Errorf("got %d TYPE lines, want 1\n%s", n, sb.String())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(3)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h_seconds", []float64{1}).Observe(2)
+
+	snap := r.Snapshot()
+	if snap["c_total"] != uint64(3) {
+		t.Errorf("c_total = %v", snap["c_total"])
+	}
+	if snap["g"] != int64(-1) {
+		t.Errorf("g = %v", snap["g"])
+	}
+	hj, ok := snap["h_seconds"].(histogramJSON)
+	if !ok {
+		t.Fatalf("h_seconds has type %T", snap["h_seconds"])
+	}
+	if hj.Count != 1 || hj.Sum != 2 || hj.Buckets["+Inf"] != 1 || hj.Buckets["1"] != 0 {
+		t.Errorf("histogram snapshot: %+v", hj)
+	}
+}
+
+func TestConcurrentSamplePath(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("con_total")
+			g := r.Gauge("con_gauge")
+			h := r.Histogram("con_seconds", DurationBuckets)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("con_total").Value(); v != 8000 {
+		t.Errorf("counter = %d, want 8000", v)
+	}
+	if v := r.Gauge("con_gauge").Value(); v != 8000 {
+		t.Errorf("gauge = %d, want 8000", v)
+	}
+	if c := r.Histogram("con_seconds", DurationBuckets).Count(); c != 8000 {
+		t.Errorf("histogram count = %d, want 8000", c)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("b[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}

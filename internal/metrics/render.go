@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Metrics are emitted in sorted-name order; label
+// variants of one base name share a single # TYPE line.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastTyped := ""
+	for _, name := range r.sortedNames() {
+		e := r.get(name)
+		if e == nil {
+			continue // deleted concurrently; registry has no delete today, but stay safe
+		}
+		base, labels := splitName(name)
+		if base != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typeString(e.kind)); err != nil {
+				return err
+			}
+			lastTyped = base
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, e.g.Value())
+		case kindHistogram:
+			err = writePromHistogram(w, base, labels, e.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func typeString(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writePromHistogram emits the _bucket/_sum/_count triplet, splicing the
+// le label into any existing label block.
+func writePromHistogram(w io.Writer, base, labels string, h *Histogram) error {
+	cum, count, sum := h.snapshot()
+	for i, ub := range h.upper {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, spliceLabel(labels, "le", formatBound(ub)), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, spliceLabel(labels, "le", "+Inf"), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, count)
+	return err
+}
+
+// spliceLabel appends key="value" to a (possibly empty) {…} label block.
+func spliceLabel(labels, key, value string) string {
+	if labels == "" {
+		return fmt.Sprintf("{%s=%q}", key, value)
+	}
+	return fmt.Sprintf("%s,%s=%q}", strings.TrimSuffix(labels, "}"), key, value)
+}
+
+// formatBound renders a bucket upper bound the way Prometheus expects:
+// shortest decimal form, no exponent switch surprises for common values.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histogramJSON is the JSON shape of one histogram.
+type histogramJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"` // upper bound → cumulative count
+}
+
+// Snapshot returns the registry as a plain name → value map: counters and
+// gauges as numbers, histograms as {count, sum, buckets}. It is the schema
+// shared by the gateway's /metrics.json endpoint and tnbsim's -metrics-out
+// dump, so offline experiments and live gateways are directly comparable.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, name := range r.sortedNames() {
+		e := r.get(name)
+		if e == nil {
+			continue
+		}
+		switch e.kind {
+		case kindCounter:
+			out[name] = e.c.Value()
+		case kindGauge:
+			out[name] = e.g.Value()
+		case kindHistogram:
+			cum, count, sum := e.h.snapshot()
+			bk := make(map[string]uint64, len(cum)+1)
+			for i, ub := range e.h.upper {
+				bk[formatBound(ub)] = cum[i]
+			}
+			bk["+Inf"] = count
+			out[name] = histogramJSON{Count: count, Sum: sum, Buckets: bk}
+		}
+	}
+	return out
+}
+
+// WriteJSON renders Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

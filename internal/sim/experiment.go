@@ -175,7 +175,10 @@ func runScheme(s Scheme, gt *GroundTruth, cfg Config) []decodedPacket {
 	var out []decodedPacket
 	switch s {
 	case SchemeTnB, SchemeThrive, SchemeSibling, SchemeAlignTrack, SchemeAlignTrackBEC, SchemeTnB2Ant:
-		rc := core.Config{Params: p, UseBEC: true, Seed: cfg.Seed}
+		// Record into the process-wide pipeline instruments so offline
+		// simulations share the live gateway's metrics schema (dumped by
+		// tnbsim -metrics-out). Atomic counters: safe under ParallelRuns.
+		rc := core.Config{Params: p, UseBEC: true, Seed: cfg.Seed, Metrics: core.DefaultPipelineMetrics()}
 		switch s {
 		case SchemeThrive:
 			rc.UseBEC = false

@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"sync"
+
+	"tnb/internal/metrics"
+)
+
+// Metrics instruments the streamer. All methods are nil-safe so an
+// un-instrumented Streamer pays only nil checks.
+type Metrics struct {
+	WindowPasses    *metrics.Counter // completed window decodes (Feed)
+	Flushes         *metrics.Counter // end-of-stream flush decodes
+	DeferredPackets *metrics.Counter // decodes pushed to the next window (overlap re-scan)
+	DedupSuppressed *metrics.Counter // duplicate decodes dropped across overlaps
+	BufferSamples   *metrics.Gauge   // samples currently buffered
+}
+
+// NewMetrics registers the streamer instruments on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		WindowPasses:    reg.Counter("tnb_stream_window_passes_total"),
+		Flushes:         reg.Counter("tnb_stream_flushes_total"),
+		DeferredPackets: reg.Counter("tnb_stream_deferred_packets_total"),
+		DedupSuppressed: reg.Counter("tnb_stream_dedup_suppressed_total"),
+		BufferSamples:   reg.Gauge("tnb_stream_buffer_samples"),
+	}
+}
+
+var (
+	defaultMetricsOnce sync.Once
+	defaultMetrics     *Metrics
+)
+
+// DefaultMetrics returns the shared streamer instruments on metrics.Default.
+func DefaultMetrics() *Metrics {
+	defaultMetricsOnce.Do(func() { defaultMetrics = NewMetrics(metrics.Default) })
+	return defaultMetrics
+}
+
+func (m *Metrics) onWindowPass() {
+	if m != nil {
+		m.WindowPasses.Inc()
+	}
+}
+
+func (m *Metrics) onFlush() {
+	if m != nil {
+		m.Flushes.Inc()
+	}
+}
+
+func (m *Metrics) onDeferred() {
+	if m != nil {
+		m.DeferredPackets.Inc()
+	}
+}
+
+func (m *Metrics) onDedup() {
+	if m != nil {
+		m.DedupSuppressed.Inc()
+	}
+}
+
+func (m *Metrics) setBuffer(n int) {
+	if m != nil {
+		m.BufferSamples.Set(int64(n))
+	}
+}

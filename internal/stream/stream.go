@@ -10,11 +10,18 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"tnb/internal/core"
 	"tnb/internal/lora"
 )
+
+// ErrConcurrentUse is returned by Feed and Flush when a call overlaps
+// another: a Streamer is a stateful single-stream decoder and must be
+// driven from one goroutine at a time.
+var ErrConcurrentUse = errors.New("stream: concurrent Feed/Flush call; Streamer is not safe for concurrent use")
 
 // Decoded is a stream-level decode: a core decode with the stream-absolute
 // sample position.
@@ -24,11 +31,16 @@ type Decoded struct {
 	AbsStart float64
 }
 
-// Streamer incrementally decodes a single-antenna sample stream. It is not
-// safe for concurrent use.
+// Streamer incrementally decodes a single-antenna sample stream. It is NOT
+// safe for concurrent use: Feed and Flush mutate the sample buffer and the
+// dedup state in place, so overlapping calls would corrupt both. The
+// contract is enforced by a cheap guard — a reentrant call returns
+// ErrConcurrentUse instead of corrupting the buffer.
 type Streamer struct {
 	rx     *core.Receiver
 	params lora.Params
+	met    *Metrics
+	inUse  atomic.Bool
 
 	// window is the number of samples decoded per pass; overlap is the
 	// carry-over that lets boundary packets be seen whole.
@@ -51,6 +63,10 @@ type Config struct {
 	// WindowSamples is the processing block size (0 → 4× the maximum
 	// packet length).
 	WindowSamples int
+	// Metrics receives streamer counters and the buffer-occupancy gauge;
+	// nil disables them. The receiver's own instruments are configured
+	// separately via Receiver.Metrics.
+	Metrics *Metrics
 }
 
 // New builds a streamer.
@@ -78,6 +94,7 @@ func New(cfg Config) (*Streamer, error) {
 	return &Streamer{
 		rx:      core.NewReceiver(cfg.Receiver),
 		params:  p,
+		met:     cfg.Metrics,
 		window:  window,
 		overlap: overlap,
 		emitted: map[string]bool{},
@@ -92,28 +109,44 @@ func (s *Streamer) WindowSamples() int { return s.window }
 func (s *Streamer) OverlapSamples() int { return s.overlap }
 
 // Feed appends samples to the stream and returns any packets newly decoded
-// by processing passes this chunk completed.
-func (s *Streamer) Feed(samples []complex128) []Decoded {
+// by processing passes this chunk completed. It returns ErrConcurrentUse if
+// it overlaps another Feed or Flush call.
+func (s *Streamer) Feed(samples []complex128) ([]Decoded, error) {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentUse
+	}
+	defer s.inUse.Store(false)
+
 	s.buf = append(s.buf, samples...)
 	var out []Decoded
 	for len(s.buf) >= s.window+s.overlap {
 		out = append(out, s.process(s.window+s.overlap, float64(s.window))...)
+		s.met.onWindowPass()
 		// Slide: drop the committed region, keep the overlap.
 		s.buf = append(s.buf[:0], s.buf[s.window:]...)
 		s.absBase += s.window
 	}
-	return out
+	s.met.setBuffer(len(s.buf))
+	return out, nil
 }
 
 // Flush decodes whatever remains in the buffer (end of stream) and returns
-// the final packets.
-func (s *Streamer) Flush() []Decoded {
+// the final packets. It returns ErrConcurrentUse if it overlaps another
+// Feed or Flush call.
+func (s *Streamer) Flush() ([]Decoded, error) {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentUse
+	}
+	defer s.inUse.Store(false)
+
 	if len(s.buf) == 0 {
-		return nil
+		return nil, nil
 	}
 	out := s.process(len(s.buf), float64(len(s.buf)))
+	s.met.onFlush()
 	s.buf = s.buf[:0]
-	return out
+	s.met.setBuffer(0)
+	return out, nil
 }
 
 // process decodes buf[:n] and commits packets starting before commitBefore
@@ -122,6 +155,7 @@ func (s *Streamer) process(n int, commitBefore float64) []Decoded {
 	var out []Decoded
 	for _, d := range s.rx.DecodeSamples([][]complex128{s.buf[:n]}) {
 		if d.Start >= commitBefore {
+			s.met.onDeferred()
 			continue // will be seen whole in the next window
 		}
 		abs := d.Start + float64(s.absBase)
@@ -137,6 +171,7 @@ func (s *Streamer) process(n int, commitBefore float64) []Decoded {
 			}
 		}
 		if dup {
+			s.met.onDedup()
 			continue
 		}
 		if len(s.emitted) >= s.maxEmit {

@@ -38,6 +38,24 @@ func newStreamer(t *testing.T) *Streamer {
 	return s
 }
 
+func mustFeed(t *testing.T, s *Streamer, samples []complex128) []Decoded {
+	t.Helper()
+	out, err := s.Feed(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustFlush(t *testing.T, s *Streamer) []Decoded {
+	t.Helper()
+	out, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func decodedSet(ds []Decoded) map[string]bool {
 	set := map[string]bool{}
 	for _, d := range ds {
@@ -69,9 +87,9 @@ func TestStreamerMatchesWholeTraceDecode(t *testing.T) {
 		if end > len(samples) {
 			end = len(samples)
 		}
-		got = append(got, s.Feed(samples[off:end])...)
+		got = append(got, mustFeed(t, s, samples[off:end])...)
 	}
-	got = append(got, s.Flush()...)
+	got = append(got, mustFlush(t, s)...)
 
 	gotSet := decodedSet(got)
 	for pl := range ref {
@@ -93,10 +111,10 @@ func TestStreamerRandomChunkSizes(t *testing.T) {
 		if off+n > len(samples) {
 			n = len(samples) - off
 		}
-		got = append(got, s.Feed(samples[off:off+n])...)
+		got = append(got, mustFeed(t, s, samples[off:off+n])...)
 		off += n
 	}
-	got = append(got, s.Flush()...)
+	got = append(got, mustFlush(t, s)...)
 	if len(got) == 0 {
 		t.Fatal("nothing decoded from random-size chunks")
 	}
@@ -128,9 +146,9 @@ func TestStreamerAbsoluteTimestamps(t *testing.T) {
 		if end > tr.Len() {
 			end = tr.Len()
 		}
-		got = append(got, s.Feed(tr.Antennas[0][off:end])...)
+		got = append(got, mustFeed(t, s, tr.Antennas[0][off:end])...)
 	}
-	got = append(got, s.Flush()...)
+	got = append(got, mustFlush(t, s)...)
 	found := false
 	for _, d := range got {
 		if bytes.Equal(d.Payload, payload) {
@@ -159,8 +177,8 @@ func TestStreamerPacketAcrossWindowBoundary(t *testing.T) {
 	}
 	tr, _ := b.Build()
 	var got []Decoded
-	got = append(got, s.Feed(tr.Antennas[0])...)
-	got = append(got, s.Flush()...)
+	got = append(got, mustFeed(t, s, tr.Antennas[0])...)
+	got = append(got, mustFlush(t, s)...)
 	count := 0
 	for _, d := range got {
 		if bytes.Equal(d.Payload, payload) {
@@ -174,10 +192,10 @@ func TestStreamerPacketAcrossWindowBoundary(t *testing.T) {
 
 func TestStreamerEmptyAndFlushOnly(t *testing.T) {
 	s := newStreamer(t)
-	if out := s.Feed(nil); len(out) != 0 {
+	if out := mustFeed(t, s, nil); len(out) != 0 {
 		t.Error("feeding nothing produced decodes")
 	}
-	if out := s.Flush(); len(out) != 0 {
+	if out := mustFlush(t, s); len(out) != 0 {
 		t.Error("flushing an empty stream produced decodes")
 	}
 }
