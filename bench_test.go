@@ -19,6 +19,7 @@ import (
 	"tnb/internal/core"
 	"tnb/internal/lora"
 	"tnb/internal/metrics"
+	"tnb/internal/obs"
 	"tnb/internal/sim"
 	"tnb/internal/trace"
 )
@@ -468,9 +469,11 @@ func BenchmarkExtendedBaselines(b *testing.B) {
 }
 
 // BenchmarkReceiver measures one full pipeline run (detect → signal calc →
-// Thrive → BEC, both passes) over a collided trace, bare and with the
-// metrics subsystem recording — the instrumentation is atomics plus four
-// clock reads per window, so the two must be indistinguishable.
+// Thrive → BEC, both passes) over a collided trace: bare, with the metrics
+// subsystem recording, and with full per-packet decode tracing. Bare and
+// instrumented must be indistinguishable (atomics plus four clock reads per
+// window); traced pays for per-symbol decision capture and bounds the
+// overhead of running a gateway with -trace-out.
 func BenchmarkReceiver(b *testing.B) {
 	p := lora.MustParams(8, 4, 125e3, 8)
 	rng := rand.New(rand.NewSource(7))
@@ -485,8 +488,8 @@ func BenchmarkReceiver(b *testing.B) {
 	}
 	tr, _ := tb.Build()
 
-	run := func(b *testing.B, met *core.PipelineMetrics) {
-		rx := core.NewReceiver(core.Config{Params: p, UseBEC: true, Metrics: met})
+	run := func(b *testing.B, met *core.PipelineMetrics, tracer *obs.Tracer) {
+		rx := core.NewReceiver(core.Config{Params: p, UseBEC: true, Metrics: met, Tracer: tracer})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if len(rx.Decode(tr)) == 0 {
@@ -494,8 +497,11 @@ func BenchmarkReceiver(b *testing.B) {
 			}
 		}
 	}
-	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("bare", func(b *testing.B) { run(b, nil, nil) })
 	b.Run("instrumented", func(b *testing.B) {
-		run(b, core.NewPipelineMetrics(metrics.NewRegistry()))
+		run(b, core.NewPipelineMetrics(metrics.NewRegistry()), nil)
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, nil, obs.New(obs.Options{RingSize: 64}))
 	})
 }

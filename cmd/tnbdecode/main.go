@@ -6,6 +6,14 @@
 // Usage:
 //
 //	tnbdecode -sf 8 trace.iq
+//	tnbdecode -sf 8 -trace-out traces.jsonl trace.iq
+//	tnbdecode -sf 8 -explain 3 trace.iq     # per-symbol cost table of pkt 3
+//
+// -explain prints one packet's full decode trace: the detection estimate,
+// the verdict with its failure reason, the BEC block table, and every
+// symbol's peak-assignment costs. Packets are numbered by detection start
+// order over ALL detected packets (decoded and failed), matching the index
+// column that -explain -1 lists.
 package main
 
 import (
@@ -18,17 +26,20 @@ import (
 
 	"tnb/internal/core"
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 	"tnb/internal/thrive"
 	"tnb/internal/trace"
 )
 
 func main() {
 	var (
-		sf     = flag.Int("sf", 8, "spreading factor of the trace")
-		osf    = flag.Int("osf", 8, "over-sampling factor")
-		bw     = flag.Float64("bw", 125e3, "bandwidth in Hz")
-		noBEC  = flag.Bool("nobec", false, "disable Block Error Correction")
-		scheme = flag.String("scheme", "tnb", "tnb | thrive | sibling")
+		sf       = flag.Int("sf", 8, "spreading factor of the trace")
+		osf      = flag.Int("osf", 8, "over-sampling factor")
+		bw       = flag.Float64("bw", 125e3, "bandwidth in Hz")
+		noBEC    = flag.Bool("nobec", false, "disable Block Error Correction")
+		scheme   = flag.String("scheme", "tnb", "tnb | thrive | sibling")
+		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
+		explain  = flag.Int("explain", -2, "print the decode trace of packet N (start order, decoded and failed); -1 lists all packets")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -59,12 +70,33 @@ func main() {
 		cfg.UseBEC = false
 	}
 
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var tracer *obs.Tracer
+	if traceFile != nil || *explain >= -1 {
+		var sink *os.File
+		if traceFile != nil {
+			sink = traceFile
+		}
+		opts := obs.Options{RingSize: 1 << 14}
+		if sink != nil {
+			opts.Sink = sink
+		}
+		tracer = obs.New(opts)
+		cfg.Tracer = tracer
+	}
+
 	rx := core.NewReceiver(cfg)
 	decoded := rx.Decode(tr)
 	sort.Slice(decoded, func(i, j int) bool { return decoded[i].Start < decoded[j].Start })
 
 	fmt.Printf("- TnB decoded %d pkts -\n", len(decoded))
-	fmt.Printf("%6s %6s %8s %14s %10s %6s\n", "node", "seq", "SNR dB", "start sample", "CFO Hz", "pass")
+	fmt.Printf("%6s %6s %8s %14s %10s %6s %8s\n", "node", "seq", "SNR dB", "start sample", "CFO Hz", "pass", "airtime")
 	for _, d := range decoded {
 		node, seq := -1, -1
 		if len(d.Payload) >= 4 {
@@ -72,7 +104,57 @@ func main() {
 			seq = int(binary.BigEndian.Uint16(d.Payload[2:4]))
 		}
 		cfoHz := d.CFOCycles / params.SymbolDuration()
-		fmt.Printf("%6d %6d %8.1f %14.1f %10.1f %6d\n",
-			node, seq, d.SNRdB, d.Start, cfoHz, d.Pass)
+		fmt.Printf("%6d %6d %8.1f %14.1f %10.1f %6d %7.1fms\n",
+			node, seq, d.SNRdB, d.Start, cfoHz, d.Pass, d.AirtimeSec*1e3)
 	}
+
+	if *explain >= -1 {
+		explainPacket(tracer, *explain)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+	}
+}
+
+// explainPacket renders the decode trace of the n-th detected packet in
+// start order (final verdicts only), or lists all packets for n == -1.
+func explainPacket(tracer *obs.Tracer, n int) {
+	final := finalTraces(tracer)
+	if len(final) == 0 {
+		fmt.Println("\nno decode traces recorded")
+		return
+	}
+	if n == -1 {
+		fmt.Printf("\n- %d detected packets (use -explain <idx>) -\n", len(final))
+		fmt.Printf("%4s %14s %6s %10s %s\n", "idx", "start sample", "pass", "verdict", "sync")
+		for i, pt := range final {
+			verdict := "decoded"
+			if !pt.OK {
+				verdict = string(pt.FailureReason)
+			}
+			fmt.Printf("%4d %14d %6d %10s %.2f\n", i, pt.Detection.StartSample, pt.Pass, verdict, pt.SyncScore)
+		}
+		return
+	}
+	if n >= len(final) {
+		log.Fatalf("explain: packet %d out of range (0..%d)", n, len(final)-1)
+	}
+	fmt.Println()
+	obs.Explain(os.Stdout, final[n])
+}
+
+// finalTraces returns each packet's final-verdict trace, start-ordered.
+func finalTraces(tracer *obs.Tracer) []*obs.PacketTrace {
+	var final []*obs.PacketTrace
+	for _, pt := range tracer.Snapshot() {
+		if pt.Final {
+			final = append(final, pt)
+		}
+	}
+	sort.SliceStable(final, func(i, j int) bool {
+		return final[i].Detection.StartSample < final[j].Detection.StartSample
+	})
+	return final
 }

@@ -5,47 +5,86 @@
 //
 // Usage:
 //
-//	tnbgateway -listen :7002 -metrics :9090
+//	tnbgateway -listen :7002 -metrics :9090 -trace-out traces.jsonl
 //
 // Feed it with cmd/tnbfeed, or from any SDR pipeline that can emit int16
-// IQ over TCP. With -metrics set, an HTTP ops endpoint serves
-// GET /metrics (Prometheus text), GET /metrics.json and GET /healthz —
-// per-stage pipeline latencies, packet counters and connection gauges.
+// IQ over TCP. With -metrics set, an HTTP ops endpoint serves:
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /metrics.json   the same registry as JSON
+//	GET /healthz        liveness
+//	GET /debug/traces   ring of recent per-packet decode traces (JSON)
+//	GET /debug/pprof/   CPU/heap/goroutine profiles (net/http/pprof)
+//
+// -trace-out additionally exports every decode trace as JSONL.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 
 	"tnb/internal/gateway"
 	"tnb/internal/metrics"
+	"tnb/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7002", "TCP listen address")
 	metricsAddr := flag.String("metrics", "", "HTTP ops listen address (e.g. :9090); empty disables")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
+	traceOut := flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
+	traceRing := flag.Int("trace-ring", 256, "decode traces kept for GET /debug/traces")
 	flag.Parse()
+
+	logOut := io.Writer(os.Stderr)
+	if *quiet {
+		logOut = io.Discard
+	}
+	log := slog.New(slog.NewTextHandler(logOut, nil))
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := &gateway.Server{Registry: metrics.Default}
-	if !*quiet {
-		srv.Logf = log.Printf
+	var sink io.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Error("trace-out", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
 	}
+	tracer := obs.New(obs.Options{Sink: sink, RingSize: *traceRing})
+
+	srv := &gateway.Server{Registry: metrics.Default, Tracer: tracer, Log: log}
 	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", metrics.Handler(metrics.Default))
+		mux.Handle("/debug/traces", tracer.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("tnb gateway ops endpoint on %s (/metrics, /metrics.json, /healthz)", *metricsAddr)
-			if err := metrics.ListenAndServe(ctx, *metricsAddr, metrics.Default); err != nil {
-				log.Fatalf("metrics endpoint: %v", err)
+			log.Info("ops endpoint listening", "addr", *metricsAddr,
+				"paths", "/metrics /metrics.json /healthz /debug/traces /debug/pprof/")
+			if err := metrics.ListenAndServeHandler(ctx, *metricsAddr, mux); err != nil {
+				log.Error("ops endpoint failed", "err", err)
+				os.Exit(1)
 			}
 		}()
 	}
 	if err := srv.ListenAndServe(ctx, *listen); err != nil {
-		log.Fatal(err)
+		log.Error("gateway failed", "err", err)
+		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"tnb/internal/metrics"
+	"tnb/internal/obs"
 	"tnb/internal/sim"
 )
 
@@ -31,8 +32,19 @@ func main() {
 		nodes    = flag.Int("nodes", 0, "override node count (0 = paper's)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		metaOut  = flag.String("metrics-out", "", "write the pipeline metrics registry as JSON to this file (same schema as the gateway's /metrics.json)")
+		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file (TnB-family schemes only)")
 	)
 	flag.Parse()
+
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		traceFile = f
+		sim.SetTracer(obs.New(obs.Options{Sink: f}))
+	}
 
 	scale := sim.FigureScale{
 		DurationSec: *duration,
@@ -149,6 +161,11 @@ func main() {
 	if *metaOut != "" {
 		if err := dumpMetrics(*metaOut); err != nil {
 			log.Fatalf("metrics-out: %v", err)
+		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
 		}
 	}
 }

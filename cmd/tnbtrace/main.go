@@ -1,0 +1,167 @@
+// tnbtrace inspects JSONL decode-trace files produced by tnbsim, tnbdecode
+// and tnbgateway (-trace-out).
+//
+// Usage:
+//
+//	tnbtrace -check traces.jsonl     # validate against the schema (CI)
+//	tnbtrace -summary traces.jsonl   # failure-reason breakdown
+//	tnbtrace -explain 0 traces.jsonl # render one packet trace
+//
+// With no file argument, stdin is read.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"tnb/internal/obs"
+)
+
+func main() {
+	var (
+		check   = flag.Bool("check", false, "validate every record against the trace schema; non-zero exit on the first violation")
+		summary = flag.Bool("summary", false, "print per-type record counts and the failure-reason breakdown")
+		explain = flag.Int("explain", -1, "render packet trace N (file order, final verdicts only)")
+	)
+	flag.Parse()
+	if !*check && !*summary && *explain < 0 {
+		*summary = true
+	}
+
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+	data, err := io.ReadAll(bufio.NewReader(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *check {
+		counts, err := obs.ValidateJSONL(bytesReader(data))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total == 0 {
+			log.Fatalf("%s: no trace records", name)
+		}
+		fmt.Printf("%s: %d records valid (", name, total)
+		printCounts(counts)
+		fmt.Println(")")
+	}
+
+	if *summary {
+		printSummary(name, data)
+	}
+	if *explain >= 0 {
+		explainNth(data, *explain)
+	}
+}
+
+func bytesReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+func printCounts(counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s: %d", k, counts[k])
+	}
+}
+
+func printSummary(name string, data []byte) {
+	packets, decoded := 0, 0
+	reasons := map[obs.FailureReason]int{}
+	for _, pt := range packetTraces(data) {
+		if !pt.Final {
+			continue
+		}
+		packets++
+		if pt.OK {
+			decoded++
+		} else {
+			reasons[pt.FailureReason]++
+		}
+	}
+	fmt.Printf("%s: %d packets, %d decoded\n", name, packets, decoded)
+	if len(reasons) == 0 {
+		return
+	}
+	fmt.Println("failures:")
+	keys := make([]string, 0, len(reasons))
+	for k := range reasons {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-24s %d\n", k, reasons[obs.FailureReason(k)])
+	}
+}
+
+func explainNth(data []byte, n int) {
+	var final []*obs.PacketTrace
+	for _, pt := range packetTraces(data) {
+		if pt.Final {
+			final = append(final, pt)
+		}
+	}
+	if n >= len(final) {
+		log.Fatalf("explain: packet %d out of range (%d final traces)", n, len(final))
+	}
+	obs.Explain(os.Stdout, final[n])
+}
+
+func packetTraces(data []byte) []*obs.PacketTrace {
+	var out []*obs.PacketTrace
+	sc := bufio.NewScanner(bytesReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if json.Unmarshal(line, &head) != nil || head.Type != obs.TypePacket {
+			continue
+		}
+		var pt obs.PacketTrace
+		if json.Unmarshal(line, &pt) == nil {
+			out = append(out, &pt)
+		}
+	}
+	return out
+}

@@ -17,6 +17,12 @@ type Result struct {
 	NoError bool
 	// Failed reports that the error pattern exceeded BEC's capability.
 	Failed bool
+	// ErrorCols is |Ξ|, the error columns observed before companion
+	// expansion (for CR 1, 1 when any row's checksum fails).
+	ErrorCols int
+	// Companion reports that companion columns were added to the repair
+	// set (§6.2).
+	Companion bool
 }
 
 // diffStats compares R and Γ: phi[i] lists the rows differing in i bits and
@@ -76,7 +82,7 @@ func decodeCR1(R *lora.Block) Result {
 	if allPass {
 		return Result{Candidates: []*lora.Block{R.Clone()}, NoError: true}
 	}
-	res := Result{}
+	res := Result{ErrorCols: 1}
 	for k := 1; k <= 5; k++ {
 		res.Candidates = append(res.Candidates, RepairChecksum(R, k))
 	}
@@ -87,15 +93,17 @@ func decodeCR1(R *lora.Block) Result {
 func decodeCR2(R *lora.Block) Result {
 	gamma := lora.CleanBlock(R, 2)
 	_, xi, _ := diffStats(R, gamma)
+	res := Result{ErrorCols: xi.Size()}
 	switch {
 	case xi.Size() == 0:
 		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
 	case xi.Size() >= 3:
-		return Result{Failed: true}
+		res.Failed = true
+		return res
 	case xi.Size() == 1:
 		xi |= CompanionOf(xi, 2)
+		res.Companion = true
 	}
-	var res Result
 	for _, k := range xi.Columns() {
 		if fixed := RepairMask(R, Col(k), 2); fixed != nil {
 			res.Candidates = append(res.Candidates, fixed)
@@ -110,17 +118,19 @@ func decodeCR2(R *lora.Block) Result {
 func decodeCR3(R *lora.Block) Result {
 	gamma := lora.CleanBlock(R, 3)
 	_, xi, _ := diffStats(R, gamma)
+	res := Result{ErrorCols: xi.Size()}
 	switch {
 	case xi.Size() == 0:
 		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
 	case xi.Size() == 1:
-		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
+		return Result{Candidates: []*lora.Block{gamma}, NoError: true, ErrorCols: 1}
 	case xi.Size() >= 4:
-		return Result{Failed: true}
+		res.Failed = true
+		return res
 	case xi.Size() == 2:
 		xi |= CompanionOf(xi, 3)
+		res.Companion = true
 	}
-	var res Result
 	cols := xi.Columns()
 	for i := 0; i < len(cols); i++ {
 		for j := i + 1; j < len(cols); j++ {
@@ -140,20 +150,22 @@ func decodeCR4(R *lora.Block) Result {
 
 	identical := len(phi[0]) == R.Rows
 	if identical || diffCols.Size() <= 1 {
-		return Result{Candidates: []*lora.Block{gamma}, NoError: true}
+		return Result{Candidates: []*lora.Block{gamma}, NoError: true, ErrorCols: diffCols.Size()}
 	}
 
 	if xi.Size() <= 2 {
 		if res, ok := decodeCR4TwoColumns(R, gamma, phi, xi); ok {
+			res.ErrorCols = xi.Size()
 			return res
 		}
 	}
 	if xi.Size() >= 1 && xi.Size() <= 4 {
 		if res, ok := decodeCR4ThreeColumns(R, gamma, phi, xi); ok {
+			res.ErrorCols = xi.Size()
 			return res
 		}
 	}
-	return Result{Failed: true}
+	return Result{Failed: true, ErrorCols: xi.Size()}
 }
 
 // decodeCR4TwoColumns handles the 2-error-column hypothesis (§6.7.1).
@@ -176,6 +188,7 @@ func decodeCR4TwoColumns(R, gamma *lora.Block, phi [9][]int, xi ColSet) (Result,
 				return Result{}, false
 			}
 		}
+		res.Companion = true
 		for _, pair := range group {
 			cols := pair.Columns()
 			if fixed := RepairFlipTwo(R, gamma, phi[2], cols[0], cols[1], 4); fixed != nil {
@@ -257,6 +270,7 @@ func decodeCR4ThreeColumns(R, gamma *lora.Block, phi [9][]int, xi ColSet) (Resul
 				return Result{}, false
 			}
 			cols |= comp[0]
+			res.Companion = true
 		case 3:
 			// The fourth column is already the companion (Lemma 3).
 		default:
@@ -287,6 +301,7 @@ func decodeCR4ThreeColumns(R, gamma *lora.Block, phi [9][]int, xi ColSet) (Resul
 		comp := Companions(xi, 4)
 		if len(comp) == 1 && comp[0].Size() == 1 {
 			xi |= comp[0]
+			res.Companion = true
 		}
 		tryTriples(xi.Columns())
 	case 4:

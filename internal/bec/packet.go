@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 )
 
 // Packet decoding (paper §6.9): the BEC-fixed blocks of the header and
@@ -26,6 +27,16 @@ type PacketResult struct {
 	OK       bool
 	Rescued  int // codeword rows fixed beyond the default decoder (Fig. 16)
 	CRCTests int // packet CRC evaluations performed
+
+	// Failure attribution (all false on success):
+	// HeaderOK reports at least one checksum-valid header candidate.
+	HeaderOK bool
+	// BlockFailed reports a payload block whose error pattern exceeded
+	// BEC's correction capability.
+	BlockFailed bool
+	// Exhausted reports the W budget ran out with candidate combinations
+	// still untested (§6.9).
+	Exhausted bool
 }
 
 // PacketDecoder decodes packets with BEC. W overrides the per-CR CRC
@@ -35,6 +46,9 @@ type PacketResult struct {
 type PacketDecoder struct {
 	W   int
 	rng *rand.Rand
+	// Trace, when non-nil, receives one BlockOutcome per decoded block
+	// (header and payload). Nil costs nothing.
+	Trace *obs.PacketTrace
 }
 
 // NewPacketDecoder builds a decoder. Pass w <= 0 to use the paper's
@@ -53,27 +67,36 @@ func NewPacketDecoder(w int, rng *rand.Rand) *PacketDecoder {
 func (pd *PacketDecoder) DecodePacket(p lora.Params, shifts []int) PacketResult {
 	headerR := lora.HeaderBlockFromShifts(p, shifts)
 	hres := DecodeBlock(headerR, 4)
+	pd.Trace.AddBlock(obs.BlockOutcome{
+		Index: -1, CR: 4, ErrorCols: hres.ErrorCols,
+		Candidates: len(hres.Candidates),
+		NoError:    hres.NoError, Failed: hres.Failed, Companion: hres.Companion,
+	})
 	if hres.Failed {
 		return PacketResult{}
 	}
 
 	var out PacketResult
 	seenHeaders := map[lora.Header]bool{}
+	first := true
 	for _, hCand := range hres.Candidates {
 		hdr, ok := lora.HeaderFromCleanBlock(hCand)
 		if !ok || seenHeaders[hdr] {
 			continue
 		}
 		seenHeaders[hdr] = true
-		res := pd.decodeWithHeader(p, shifts, hCand, hdr, &out)
+		out.HeaderOK = true
+		res := pd.decodeWithHeader(p, shifts, hCand, hdr, &out, first)
+		first = false
 		if res.OK {
+			res.HeaderOK = true
 			return res
 		}
 	}
 	return out
 }
 
-func (pd *PacketDecoder) decodeWithHeader(p lora.Params, shifts []int, hCand *lora.Block, hdr lora.Header, partial *PacketResult) PacketResult {
+func (pd *PacketDecoder) decodeWithHeader(p lora.Params, shifts []int, hCand *lora.Block, hdr lora.Header, partial *PacketResult, record bool) PacketResult {
 	pp := p
 	pp.CR = hdr.CR
 	lay, err := lora.NewLayout(pp, hdr.PayloadLen)
@@ -85,7 +108,17 @@ func (pd *PacketDecoder) decodeWithHeader(p lora.Params, shifts []int, hCand *lo
 	cleaned := make([]*lora.Block, len(blocks))
 	for i, b := range blocks {
 		res := DecodeBlock(b, pp.CR)
+		if record {
+			// Payload-block outcomes are traced for the first header
+			// candidate only, to keep one row per block in the trace.
+			pd.Trace.AddBlock(obs.BlockOutcome{
+				Index: i, CR: pp.CR, ErrorCols: res.ErrorCols,
+				Candidates: len(res.Candidates),
+				NoError:    res.NoError, Failed: res.Failed, Companion: res.Companion,
+			})
+		}
 		if res.Failed || len(res.Candidates) == 0 {
+			partial.BlockFailed = true
 			return PacketResult{Header: hdr}
 		}
 		cands[i] = res.Candidates
@@ -171,5 +204,8 @@ func (pd *PacketDecoder) decodeWithHeader(p lora.Params, shifts []int, hCand *lo
 			return res
 		}
 	}
+	// The sampled search only runs when total > w (or overflowed), so
+	// reaching here always leaves combinations untested.
+	partial.Exhausted = true
 	return PacketResult{Header: hdr, CRCTests: partial.CRCTests}
 }

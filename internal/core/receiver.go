@@ -12,6 +12,7 @@ import (
 	"tnb/internal/bec"
 	"tnb/internal/detect"
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 	"tnb/internal/peaks"
 	"tnb/internal/stats"
 	"tnb/internal/thrive"
@@ -52,6 +53,16 @@ type Config struct {
 	// disables instrumentation (the sample path is then a nil check).
 	// Use DefaultPipelineMetrics() to record into the process registry.
 	Metrics *PipelineMetrics
+	// Tracer receives one structured decode trace per detected packet
+	// (internal/obs): detection parameters, per-symbol assignment
+	// decisions, BEC block outcomes, and a failure reason. Nil disables
+	// tracing; the hot path is then a nil check per packet.
+	Tracer *obs.Tracer
+	// FaultCFOBiasCycles shifts every detection's CFO estimate by this
+	// many cycles per symbol. It is a fault-injection hook for the
+	// failure-attribution tests — it corrupts dechirping the way a wrong
+	// sync lock would — and must stay zero in production.
+	FaultCFOBiasCycles float64
 }
 
 // Decoded is one successfully decoded packet.
@@ -63,6 +74,14 @@ type Decoded struct {
 	SNRdB     float64 // estimated from preamble peaks vs the noise floor
 	Rescued   int     // codewords fixed beyond the default decoder
 	Pass      int     // 1 or 2 (second decoding attempt)
+	// DataSymbols is the packet's on-air data symbol count, derived from
+	// the decoded PHY header (LDRO-aware), and AirtimeSec the full on-air
+	// time including the preamble — the fields reports and trace
+	// summaries share.
+	DataSymbols int
+	AirtimeSec  float64
+	// Trace is the packet's decode trace when the receiver has a Tracer.
+	Trace *obs.PacketTrace
 }
 
 // Receiver is the TnB gateway-side decoder. Create with NewReceiver; a
@@ -73,6 +92,7 @@ type Receiver struct {
 	demod    *lora.Demodulator
 	rng      *rand.Rand
 	met      *PipelineMetrics
+	obs      *obs.Tracer
 }
 
 // NewReceiver builds a receiver for the parameter set in cfg.
@@ -81,12 +101,15 @@ func NewReceiver(cfg Config) *Receiver {
 		cfg.MaxPayloadLen = 48
 	}
 	d := detect.NewDetector(cfg.Params)
+	d.Trace = cfg.Tracer
+	d.CFOBiasCycles = cfg.FaultCFOBiasCycles
 	return &Receiver{
 		cfg:      cfg,
 		detector: d,
 		demod:    d.Demodulator(),
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 		met:      cfg.Metrics,
+		obs:      cfg.Tracer,
 	}
 }
 
@@ -108,10 +131,12 @@ func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
 	p := r.cfg.Params
 	traceLen := len(antennas[0])
 
+	window := r.obs.NextWindow()
 	t0 = r.met.now()
 	states := make([]*thrive.PacketState, len(pkts))
 	for i, pk := range pkts {
 		states[i] = thrive.NewPacketState(i, r.newCalc(antennas, pk, traceLen))
+		states[i].Trace = r.newTrace(window, i, 1, pk, states[i])
 	}
 	r.met.observeSigCalc(t0)
 
@@ -129,10 +154,62 @@ func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
 		}
 	}
 
-	if !r.cfg.DisableSecondPass && len(decodedIdx) > 0 && len(decodedIdx) < len(states) {
-		out = append(out, r.secondPass(antennas, pkts, states, decodedIdx, traceLen, engine)...)
+	retrying := !r.cfg.DisableSecondPass && len(decodedIdx) > 0 && len(decodedIdx) < len(states)
+	for i, st := range states {
+		if pt := st.Trace; pt != nil {
+			// A pass-1 failure about to be retried is not the packet's
+			// final verdict.
+			pt.Final = decodedIdx[i] || !retrying
+			r.obs.Finish(pt)
+		}
+	}
+	if retrying {
+		out = append(out, r.secondPass(antennas, pkts, states, decodedIdx, traceLen, engine, window)...)
 	}
 	return out
+}
+
+// newTrace opens the packet's decode trace; nil without a tracer.
+func (r *Receiver) newTrace(window uint64, id, pass int, pk detect.Packet, st *thrive.PacketState) *obs.PacketTrace {
+	if r.obs == nil {
+		return nil
+	}
+	start := math.Floor(pk.Start)
+	pt := r.obs.NewPacket(window, id, pass, obs.Detection{
+		StartSample: int(start),
+		FracTiming:  pk.Start - start,
+		CFOCycles:   pk.CFOCycles,
+		CFOHz:       pk.CFOCycles / r.cfg.Params.SymbolDuration(),
+		Quality:     pk.Quality,
+		SNRdB:       r.estimateSNR(st),
+	})
+	pt.SyncScore = r.syncScore(st)
+	pt.InitSymbols(st.Calc.NumData())
+	return pt
+}
+
+// syncScore measures how well the estimated sync explains the preamble: the
+// fraction of upchirps whose signal-vector maximum lands within ±1 bin of
+// bin 0. A correct lock scores near 1; a wrong timing/CFO lock scatters the
+// maxima and scores near 0.
+func (r *Receiver) syncScore(st *thrive.PacketState) float64 {
+	n := r.cfg.Params.N()
+	total, hits := 0, 0
+	for k := 0; k < lora.PreambleUpchirps; k++ {
+		idx := k - (lora.PreambleUpchirps + lora.SyncSymbols)
+		if !st.Calc.InRange(idx) {
+			continue
+		}
+		total++
+		hb := peaks.HighestBin(st.Calc.SigVec(idx))
+		if hb <= 1 || hb >= n-1 {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }
 
 // newCalc builds a signal-vector calculator with a provisional symbol count
@@ -168,16 +245,30 @@ func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass
 		}
 	}
 	if len(shifts) < lora.HeaderSymbols {
+		st.Trace.Fail(obs.FailTooShort)
 		return Decoded{}, false
 	}
 
 	var hdr lora.Header
 	var payload []uint8
 	rescued := 0
+	// Failure-attribution evidence, accumulated across decode attempts.
+	var becInfo bec.PacketResult
+	attempts := 0
 	decodeOnce := func(sh []int) (lora.Header, []uint8, int, bool) {
+		attempts++
 		if r.cfg.UseBEC {
 			pd := bec.NewPacketDecoder(r.cfg.W, r.rng)
+			if attempts == 1 {
+				// Block outcomes are traced for the first attempt only;
+				// list-decode retries would append duplicate rows.
+				pd.Trace = st.Trace
+			}
 			res := pd.DecodePacket(p, sh)
+			becInfo.CRCTests += res.CRCTests
+			becInfo.HeaderOK = becInfo.HeaderOK || res.HeaderOK
+			becInfo.BlockFailed = becInfo.BlockFailed || res.BlockFailed
+			becInfo.Exhausted = becInfo.Exhausted || res.Exhausted
 			return res.Header, res.Payload, res.Rescued, res.OK
 		}
 		res := lora.DecodeDefault(p, sh)
@@ -189,6 +280,19 @@ func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass
 		hdr, payload, rescued, ok = r.listDecode(st, shifts, decodeOnce)
 	}
 	if !ok {
+		if pt := st.Trace; pt != nil {
+			pt.CRCTests = becInfo.CRCTests
+			pt.ListDecodeTried = attempts - 1
+			pt.BECExhausted = becInfo.Exhausted
+			headerOK := becInfo.HeaderOK
+			if !r.cfg.UseBEC {
+				// The default decoder keeps no evidence; re-derive header
+				// validity from the cleaned header block.
+				_, headerOK = lora.HeaderFromCleanBlock(
+					lora.CleanBlock(lora.HeaderBlockFromShifts(p, shifts), 4))
+			}
+			pt.Fail(attributeFailure(pt, headerOK, becInfo.BlockFailed, becInfo.Exhausted))
+		}
 		r.met.onDecodeFailed()
 		return Decoded{}, false
 	}
@@ -202,17 +306,53 @@ func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass
 		st.KnownShifts = trueShifts
 	}
 
+	dataSyms := pp.PayloadSymbols(hdr.PayloadLen)
 	dec := Decoded{
-		Payload:   payload,
-		Header:    hdr,
-		Start:     pk.Start,
-		CFOCycles: pk.CFOCycles,
-		SNRdB:     r.estimateSNR(st),
-		Rescued:   rescued,
-		Pass:      pass,
+		Payload:     payload,
+		Header:      hdr,
+		Start:       pk.Start,
+		CFOCycles:   pk.CFOCycles,
+		SNRdB:       r.estimateSNR(st),
+		Rescued:     rescued,
+		Pass:        pass,
+		DataSymbols: dataSyms,
+		AirtimeSec:  (pp.PreambleSymbols() + float64(dataSyms)) * pp.SymbolDuration(),
+		Trace:       st.Trace,
+	}
+	if pt := st.Trace; pt != nil {
+		pt.OK = true
+		pt.Rescued = rescued
+		pt.CRCTests = becInfo.CRCTests
+		pt.ListDecodeTried = attempts - 1
+		pt.DataSymbols = dec.DataSymbols
+		pt.AirtimeSec = dec.AirtimeSec
 	}
 	r.met.onDecoded(dec)
 	return dec, true
+}
+
+// attributeFailure maps the evidence of a failed decode to the taxonomy.
+// Definite causes come first (wrong sync, no valid header, exhausted CRC
+// budget); the peak-misassignment heuristic — an outsized share of
+// near-coin-flip assignments — is consulted only after them, so forced
+// faults in tests attribute deterministically.
+func attributeFailure(pt *obs.PacketTrace, headerOK, blockFailed, exhausted bool) obs.FailureReason {
+	if pt.SyncScore < 0.5 {
+		return obs.FailNoSync
+	}
+	if !headerOK {
+		return obs.FailHeaderInvalid
+	}
+	if exhausted {
+		return obs.FailBECBudget
+	}
+	if amb, assigned := pt.AmbiguousSymbols(obs.AmbiguityMargin); assigned > 0 && 4*amb >= assigned {
+		return obs.FailPeakMisassign
+	}
+	if blockFailed {
+		return obs.FailBECUnrepairable
+	}
+	return obs.FailCRC
 }
 
 // listDecode retries the packet with the runner-up peak substituted one
@@ -279,7 +419,7 @@ func (r *Receiver) estimateSNR(st *thrive.PacketState) float64 {
 // failed packets' histories fitted over their first-pass observations.
 func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 	states []*thrive.PacketState, decodedIdx map[int]bool, traceLen int,
-	engine *thrive.Engine) []Decoded {
+	engine *thrive.Engine, window uint64) []Decoded {
 
 	t0 := r.met.now()
 	retry := make([]*thrive.PacketState, len(pkts))
@@ -290,6 +430,7 @@ func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 			st.KnownShifts = states[i].KnownShifts
 		} else {
 			st.PriorHeights = append([]float64(nil), states[i].Heights...)
+			st.Trace = r.newTrace(window, i, 2, pk, st)
 		}
 		retry[i] = st
 	}
@@ -305,6 +446,10 @@ func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 		}
 		if dec, ok := r.decodeAssigned(st, pkts[i], 2); ok {
 			out = append(out, dec)
+		}
+		if pt := st.Trace; pt != nil {
+			pt.Final = true
+			r.obs.Finish(pt)
 		}
 	}
 	return out

@@ -24,8 +24,8 @@ func TestDebugMissedCollider(t *testing.T) {
 	cands := d.scanPreambles(tr.Antennas)
 	for _, c := range cands {
 		t.Logf("cand: window %d bin %d h %.3e", c.window, c.bin, c.height)
-		pkt, ok := d.refine(tr.Antennas, c)
-		t.Logf("  refine: %+v ok=%v", pkt, ok)
+		pkt, reject := d.refine(tr.Antennas, c)
+		t.Logf("  refine: %+v reject=%q", pkt, reject)
 	}
 	for _, r := range recs {
 		t.Logf("true: start %.1f (window %.2f) cfo %.4f", r.StartSample, r.StartSample/sym, r.CFOHz*p.SymbolDuration())

@@ -29,8 +29,8 @@ func TestDebugSyncSurface(t *testing.T) {
 	t.Logf("true start %.2f cfo %.4f cycles", recs[0].StartSample, cfoHz*p.SymbolDuration())
 	t.Logf("candidates: %+v", cands)
 	for _, c := range cands {
-		pkt, ok := d.refine(tr.Antennas, c)
-		t.Logf("refined: %+v ok=%v", pkt, ok)
+		pkt, reject := d.refine(tr.Antennas, c)
+		t.Logf("refined: %+v reject=%q", pkt, reject)
 	}
 	// Examine the Q surface around the true parameters.
 	start := recs[0].StartSample

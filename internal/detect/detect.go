@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 	"tnb/internal/peaks"
 	"tnb/internal/stats"
 )
@@ -37,6 +38,14 @@ type Detector struct {
 	// MinPeakHeight discards detection peaks below this height (absolute,
 	// in signal-vector units). Zero selects an adaptive threshold.
 	MinPeakHeight float64
+	// Trace, when non-nil, receives one event per preamble candidate:
+	// accepted with the refined estimates, or rejected with the reason.
+	Trace *obs.Tracer
+	// CFOBiasCycles is a fault-injection hook: it is added to every
+	// refined packet's CFO estimate, corrupting downstream dechirping the
+	// way a wrong sync lock would. Used by the failure-attribution tests;
+	// zero in production.
+	CFOBiasCycles float64
 }
 
 // NewDetector builds a detector with the paper's defaults.
@@ -70,9 +79,15 @@ func (d *Detector) Detect(antennas [][]complex128) []Packet {
 	cands := d.scanPreambles(antennas)
 	var pkts []Packet
 	for _, c := range cands {
-		if pkt, ok := d.refine(antennas, c); ok {
-			pkts = append(pkts, pkt)
+		pkt, reject := d.refine(antennas, c)
+		if reject != "" {
+			d.Trace.OnDetect(obs.DetectEvent{Window: c.window, Bin: c.bin, Reason: reject})
+			continue
 		}
+		pkt.CFOCycles += d.CFOBiasCycles
+		d.Trace.OnDetect(obs.DetectEvent{Window: c.window, Bin: c.bin, Accepted: true,
+			Start: pkt.Start, CFOCycles: pkt.CFOCycles})
+		pkts = append(pkts, pkt)
 	}
 	pkts = dedup(pkts, float64(d.p.SymbolSamples())/2)
 	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Start < pkts[j].Start })
@@ -145,8 +160,9 @@ func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 	return cands
 }
 
-// refine runs steps 2–4 for one candidate and returns the packet estimate.
-func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, bool) {
+// refine runs steps 2–4 for one candidate and returns the packet estimate;
+// a non-empty reject reason means the candidate was discarded.
+func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, string) {
 	n := d.p.N()
 	sym := d.p.SymbolSamples()
 
@@ -173,7 +189,7 @@ func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, bool) {
 		}
 	}
 	if bestWin < 0 {
-		return Packet{}, false
+		return Packet{}, "no_downchirp"
 	}
 
 	// Step 3: coarse timing and CFO from x1 (up peak) and x2 (down peak):
@@ -185,7 +201,7 @@ func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, bool) {
 	delta := math.Mod((x1-x2)/2, float64(n))
 	cfo, delta = d.resolveAmbiguity(cfo, delta)
 	if math.Abs(cfo) > d.MaxCFOCycles+2 {
-		return Packet{}, false
+		return Packet{}, "cfo_out_of_bounds"
 	}
 
 	// Anchor: the max-energy down window overlaps the downchirp section,
@@ -218,9 +234,9 @@ func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, bool) {
 		}
 	}
 	if !found || math.Abs(best.CFOCycles) > d.MaxCFOCycles+2 {
-		return Packet{}, false
+		return Packet{}, "no_valid_start"
 	}
-	return best, true
+	return best, ""
 }
 
 // resolveAmbiguity maps (cfo, delta) into the canonical range: cfo into

@@ -17,13 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 
 	"tnb/internal/core"
 	"tnb/internal/lora"
 	"tnb/internal/metrics"
+	"tnb/internal/obs"
 	"tnb/internal/stream"
 )
 
@@ -34,6 +35,9 @@ type Hello struct {
 	Bandwidth float64 `json:"bandwidth_hz,omitempty"`
 	OSF       int     `json:"osf,omitempty"`
 	UseBEC    *bool   `json:"use_bec,omitempty"` // default true
+	// Trace requests a per-packet decode-trace summary on every report
+	// (sync score, ambiguous symbols, CRC tests — see obs.Summary).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Validate checks the hello's radio parameters before a receiver is built.
@@ -58,25 +62,37 @@ func (h Hello) Validate() error {
 
 // Report is one decoded packet, emitted as a JSON line.
 type Report struct {
-	Payload    []byte  `json:"payload"`
-	PayloadLen int     `json:"payload_len"`
-	CR         int     `json:"cr"`
-	AbsStart   float64 `json:"abs_start_sample"`
-	CFOHz      float64 `json:"cfo_hz"`
-	SNRdB      float64 `json:"snr_db"`
-	Pass       int     `json:"pass"`
-	Rescued    int     `json:"rescued_codewords"`
+	Payload     []byte  `json:"payload"`
+	PayloadLen  int     `json:"payload_len"`
+	CR          int     `json:"cr"`
+	AbsStart    float64 `json:"abs_start_sample"`
+	CFOHz       float64 `json:"cfo_hz"`
+	SNRdB       float64 `json:"snr_db"`
+	Pass        int     `json:"pass"`
+	Rescued     int     `json:"rescued_codewords"`
+	DataSymbols int     `json:"data_symbols,omitempty"`
+	AirtimeSec  float64 `json:"airtime_sec,omitempty"`
+	// Trace is the decode-trace summary, present when the hello requested
+	// tracing.
+	Trace *obs.Summary `json:"trace,omitempty"`
 }
 
 // Server decodes LoRa IQ streams for its clients.
 type Server struct {
-	// Logf receives connection-level diagnostics; nil silences them.
-	Logf func(format string, args ...any)
+	// Log receives structured connection-level diagnostics with
+	// per-connection attributes (remote addr, radio parameters, packet
+	// counts); nil silences them, matching the old nil-Logf behavior.
+	Log *slog.Logger
 	// Registry, when non-nil, wires the full instrumentation stack:
 	// gateway connection metrics plus the per-stage receiver and streamer
 	// instruments of every connection. Use metrics.Default to share the
 	// process-wide registry served by the -metrics endpoint.
 	Registry *metrics.Registry
+	// Tracer, when non-nil, records every connection's decode traces
+	// (JSONL sink and /debug/traces ring, see internal/obs). Clients that
+	// set "trace" in the hello get per-report summaries even without a
+	// server tracer.
+	Tracer *obs.Tracer
 
 	mu sync.Mutex
 	ln net.Listener
@@ -127,21 +143,26 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-				s.logf("conn %s: %v", conn.RemoteAddr(), err)
+			log := s.logger().With("remote", conn.RemoteAddr().String())
+			if err := s.handle(conn, log); err != nil && !errors.Is(err, io.EOF) {
+				log.Error("connection failed", "err", err)
 			}
 		}()
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
+// discardLog swallows records without formatting them; the nil-Log default.
+var discardLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+func (s *Server) logger() *slog.Logger {
+	if s.Log != nil {
+		return s.Log
 	}
+	return discardLog
 }
 
 // handle runs one client connection.
-func (s *Server) handle(conn net.Conn) error {
+func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 	met, pmet, smet := s.instruments()
 	met.onConnOpen()
 	defer met.onConnClose()
@@ -177,25 +198,46 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 	useBEC := hello.UseBEC == nil || *hello.UseBEC
 
+	// Tracing: the server's tracer (ops export) if present; a hello that
+	// requests summaries without one gets a connection-local tracer so
+	// traces exist for summarizing.
+	tracer := s.Tracer
+	if tracer == nil && hello.Trace {
+		tracer = obs.New(obs.Options{})
+	}
+
 	st, err := stream.New(stream.Config{
-		Receiver: core.Config{Params: params, UseBEC: useBEC, Metrics: pmet},
+		Receiver: core.Config{Params: params, UseBEC: useBEC, Metrics: pmet, Tracer: tracer},
 		Metrics:  smet,
 	})
 	if err != nil {
 		return err
 	}
-	s.logf("conn %s: %v BEC=%v", conn.RemoteAddr(), params, useBEC)
+	log = log.With("sf", params.SF, "cr", params.CR, "bec", useBEC)
+	log.Info("stream configured", "bandwidth_hz", params.Bandwidth,
+		"osf", params.OSF, "trace", tracer != nil)
+
+	reports, bytesIn := 0, 0
+	defer func() {
+		log.Info("connection closed", "reports", reports, "bytes_in", bytesIn)
+	}()
 
 	emit := func(ds []stream.Decoded, err error) error {
 		if err != nil {
 			return err
 		}
 		for _, d := range ds {
-			if err := enc.Encode(toReport(d, params)); err != nil {
+			rep := toReport(d, params)
+			if hello.Trace && d.Trace != nil {
+				sum := obs.Summarize(d.Trace)
+				rep.Trace = &sum
+			}
+			if err := enc.Encode(rep); err != nil {
 				return err
 			}
 		}
 		met.onReports(len(ds))
+		reports += len(ds)
 		return bw.Flush()
 	}
 
@@ -207,6 +249,7 @@ func (s *Server) handle(conn net.Conn) error {
 		n, err := io.ReadFull(br, raw)
 		if n > 0 {
 			met.onBytesIn(n)
+			bytesIn += n
 			n -= n % 4
 			samples = samples[:0]
 			for i := 0; i < n; i += 4 {
@@ -229,14 +272,16 @@ func (s *Server) handle(conn net.Conn) error {
 
 func toReport(d stream.Decoded, p lora.Params) Report {
 	return Report{
-		Payload:    d.Payload,
-		PayloadLen: d.Header.PayloadLen,
-		CR:         d.Header.CR,
-		AbsStart:   d.AbsStart,
-		CFOHz:      d.CFOCycles / p.SymbolDuration(),
-		SNRdB:      d.SNRdB,
-		Pass:       d.Pass,
-		Rescued:    d.Rescued,
+		Payload:     d.Payload,
+		PayloadLen:  d.Header.PayloadLen,
+		CR:          d.Header.CR,
+		AbsStart:    d.AbsStart,
+		CFOHz:       d.CFOCycles / p.SymbolDuration(),
+		SNRdB:       d.SNRdB,
+		Pass:        d.Pass,
+		Rescued:     d.Rescued,
+		DataSymbols: d.DataSymbols,
+		AirtimeSec:  d.AirtimeSec,
 	}
 }
 
@@ -253,7 +298,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("tnb gateway listening on %s", ln.Addr())
+	s.logger().Info("gateway listening", "addr", ln.Addr().String())
 	return s.Serve(ctx, ln)
 }
 

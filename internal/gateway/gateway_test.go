@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"math/rand"
 	"net"
 	"testing"
@@ -13,6 +14,18 @@ import (
 	"tnb/internal/trace"
 )
 
+// testLogger routes the server's slog output to the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
 func startServer(t *testing.T) (addr string, stop func()) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -20,7 +33,7 @@ func startServer(t *testing.T) (addr string, stop func()) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	srv := &Server{Logf: t.Logf}
+	srv := &Server{Log: testLogger(t)}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, ln) }()
 	return ln.Addr().String(), func() {
@@ -192,6 +205,67 @@ func TestGatewayNoBEC(t *testing.T) {
 	for _, r := range reports {
 		if r.Rescued != 0 {
 			t.Error("rescued codewords reported without BEC")
+		}
+	}
+}
+
+func TestGatewayTraceSummaries(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	tr, _, p := buildGatewayTrace(t, 904, 3)
+	c, err := Dial(addr, Hello{SF: p.SF, CR: p.CR, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(tr.Antennas[0]); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	for i, r := range reports {
+		if r.Trace == nil {
+			t.Fatalf("report %d: trace summary missing despite hello.trace", i)
+		}
+		if r.Trace.Pass != 1 && r.Trace.Pass != 2 {
+			t.Errorf("report %d: summary pass %d", i, r.Trace.Pass)
+		}
+		if r.Trace.SyncScore < 0 || r.Trace.SyncScore > 1 {
+			t.Errorf("report %d: sync score %.2f", i, r.Trace.SyncScore)
+		}
+		if r.Trace.FailureReason != "" {
+			t.Errorf("report %d: decoded packet carries failure reason %q", i, r.Trace.FailureReason)
+		}
+		if r.DataSymbols <= 0 || r.AirtimeSec <= 0 {
+			t.Errorf("report %d: airtime fields: symbols=%d airtime=%g", i, r.DataSymbols, r.AirtimeSec)
+		}
+	}
+}
+
+func TestGatewayNoTraceByDefault(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	tr, _, p := buildGatewayTrace(t, 905, 2)
+	c, err := Dial(addr, Hello{SF: p.SF, CR: p.CR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(tr.Antennas[0]); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reports {
+		if r.Trace != nil {
+			t.Errorf("report %d: trace summary sent without hello.trace", i)
 		}
 	}
 }

@@ -21,7 +21,7 @@ func startServerWithRegistry(t *testing.T, reg *metrics.Registry) (addr string, 
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	srv := &Server{Logf: t.Logf, Registry: reg}
+	srv := &Server{Log: testLogger(t), Registry: reg}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, ln) }()
 	return ln.Addr().String(), func() {

@@ -40,7 +40,23 @@ func ListenAndServe(ctx context.Context, addr string, r *Registry) error {
 
 // Serve is ListenAndServe on an existing listener.
 func Serve(ctx context.Context, ln net.Listener, r *Registry) error {
-	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	return ServeHandler(ctx, ln, Handler(r))
+}
+
+// ListenAndServeHandler is ListenAndServe for a caller-composed handler —
+// e.g. the metrics mux extended with /debug/traces and /debug/pprof.
+func ListenAndServeHandler(ctx context.Context, addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeHandler(ctx, ln, h)
+}
+
+// ServeHandler serves an arbitrary handler on ln with the same lifecycle as
+// Serve (shutdown on ctx cancel, nil on clean exit).
+func ServeHandler(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	done := make(chan struct{})
 	go func() {
 		select {

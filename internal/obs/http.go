@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the trace ring for live inspection. GET returns the ring's
+// packet traces as a JSON array (oldest first) plus the failure-reason
+// tallies; `?n=K` limits to the K most recent.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		traces := t.Snapshot()
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
+		}
+		packets, decoded, byReason := t.FailureCounts()
+		resp := struct {
+			Packets  uint64                   `json:"packets"`
+			Decoded  uint64                   `json:"decoded"`
+			Failures map[FailureReason]uint64 `json:"failures,omitempty"`
+			Traces   []*PacketTrace           `json:"traces"`
+		}{packets, decoded, byReason, traces}
+		if resp.Traces == nil {
+			resp.Traces = []*PacketTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if t != nil {
+			// Hold the lock while encoding: ring entries can still be
+			// mutated by SetAbsStart, which synchronizes on this mutex.
+			t.mu.Lock()
+			defer t.mu.Unlock()
+		}
+		_ = enc.Encode(resp)
+	})
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(win uint64, id int, ok bool) *PacketTrace {
+	pt := &PacketTrace{
+		Window: win, ID: id, Pass: 1, Final: true,
+		Detection: Detection{StartSample: 1000, FracTiming: 0.25, CFOCycles: 1.5, CFOHz: 732, Quality: 3.2, SNRdB: 5},
+		SyncScore: 0.875,
+	}
+	pt.InitSymbols(4)
+	pt.SetSymbol(SymbolDecision{Idx: 0, Bin: 17, Alt: 42, Height: 1.2, SiblingCost: 0.1, HistoryCost: 0.2, Cost: 0.3, Margin: 0.5})
+	pt.SetSymbol(SymbolDecision{Idx: 1, Bin: 99, Alt: -1, Height: 0.9, Cost: 0.4, Margin: -1})
+	pt.SetSymbol(SymbolDecision{Idx: 2, Bin: 5, Alt: 6, Height: 0.8, Cost: 0.41, Margin: 0.001})
+	pt.SetSymbol(SymbolDecision{Idx: 3, Bin: 7, Alt: -1, Margin: -1, Fallback: true})
+	pt.AddBlock(BlockOutcome{Index: -1, CR: 4, ErrorCols: 1, Candidates: 2})
+	pt.AddBlock(BlockOutcome{Index: 0, CR: 2, ErrorCols: 2, Candidates: 4, Companion: true})
+	pt.OnMask(3)
+	if ok {
+		pt.OK = true
+		pt.DataSymbols = 36
+		pt.AirtimeSec = 0.04
+		pt.Rescued = 2
+		pt.CRCTests = 5
+	} else {
+		pt.Fail(FailBECBudget)
+		pt.CRCTests = 1
+	}
+	return pt
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if w := tr.NextWindow(); w != 0 {
+		t.Fatalf("nil NextWindow = %d", w)
+	}
+	pt := tr.NewPacket(1, 0, 1, Detection{})
+	if pt != nil {
+		t.Fatalf("nil tracer NewPacket returned %v", pt)
+	}
+	// All PacketTrace methods must accept the nil trace.
+	pt.InitSymbols(8)
+	pt.SetSymbol(SymbolDecision{Idx: 0})
+	pt.AddBlock(BlockOutcome{})
+	pt.OnMask(1)
+	pt.Fail(FailCRC)
+	if a, n := pt.AmbiguousSymbols(0.1); a != 0 || n != 0 {
+		t.Fatalf("nil AmbiguousSymbols = %d,%d", a, n)
+	}
+	tr.Finish(pt)
+	tr.OnDetect(DetectEvent{})
+	tr.OnStream("dedup", 1)
+	tr.SetAbsStart(pt, 5)
+	if s := tr.Snapshot(); s != nil {
+		t.Fatalf("nil Snapshot = %v", s)
+	}
+}
+
+func TestJSONLRoundTripAndValidate(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{Sink: &buf, RingSize: 8})
+	win := tr.NextWindow()
+
+	ok := sampleTrace(win, 0, true)
+	tr.Finish(ok)
+	bad := sampleTrace(win, 1, false)
+	tr.Finish(bad)
+	tr.OnDetect(DetectEvent{Window: 3, Bin: 40, Accepted: false, Reason: "no_downchirp"})
+	tr.OnDetect(DetectEvent{Window: 3, Bin: 41, Accepted: true, Start: 1000.25, CFOCycles: 1.5})
+	tr.OnStream("dedup", 123456)
+	tr.OnStream("deferred", 123456)
+
+	counts, err := ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateJSONL: %v\n%s", err, buf.String())
+	}
+	if counts[TypePacket] != 2 || counts[TypeDetect] != 2 || counts[TypeStream] != 2 {
+		t.Fatalf("record counts = %v", counts)
+	}
+
+	packets, decoded, byReason := tr.FailureCounts()
+	if packets != 2 || decoded != 1 || byReason[FailBECBudget] != 1 {
+		t.Fatalf("FailureCounts = %d, %d, %v", packets, decoded, byReason)
+	}
+}
+
+func TestValidateRejectsBadRecords(t *testing.T) {
+	bad := []string{
+		`{"no_type": true}`,
+		`{"type": "mystery"}`,
+		`{"type": "packet", "pass": 3, "final": true, "ok": false, "failure_reason": "crc_fail"}`,
+		`{"type": "packet", "pass": 1, "ok": false}`,
+		`{"type": "packet", "pass": 1, "ok": false, "failure_reason": "made_up"}`,
+		`{"type": "packet", "pass": 1, "ok": true}`,
+		`{"type": "packet", "pass": 1, "ok": true, "data_symbols": 8, "airtime_sec": 0.1, "sync_score": 2}`,
+		`{"type": "detect", "accepted": false}`,
+		`{"type": "stream", "event": "mystery"}`,
+		`not json`,
+	}
+	for _, line := range bad {
+		if err := ValidateRecord([]byte(line)); err == nil {
+			t.Errorf("ValidateRecord accepted %s", line)
+		}
+	}
+	good := `{"type": "packet", "pass": 2, "final": true, "ok": true, "data_symbols": 36, "airtime_sec": 0.04, "sync_score": 1}`
+	if err := ValidateRecord([]byte(good)); err != nil {
+		t.Errorf("ValidateRecord rejected %s: %v", good, err)
+	}
+}
+
+func TestRingEvictionAndFinalCounting(t *testing.T) {
+	tr := New(Options{RingSize: 4})
+	for i := 0; i < 6; i++ {
+		pt := tr.NewPacket(1, i, 1, Detection{})
+		pt.Fail(FailNoSync)
+		pt.Final = i%2 == 0 // half the attempts are retried later
+		tr.Finish(pt)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring len = %d, want 4", len(snap))
+	}
+	if snap[0].ID != 2 || snap[3].ID != 5 {
+		t.Fatalf("ring order = %d..%d, want 2..5", snap[0].ID, snap[3].ID)
+	}
+	packets, _, byReason := tr.FailureCounts()
+	if packets != 3 || byReason[FailNoSync] != 3 {
+		t.Fatalf("final counting = %d packets, %v", packets, byReason)
+	}
+}
+
+func TestHandlerServesRing(t *testing.T) {
+	tr := New(Options{RingSize: 8})
+	tr.Finish(sampleTrace(1, 0, true))
+	tr.Finish(sampleTrace(1, 1, false))
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"packets": 2`, `"decoded": 1`, `"bec_budget_exhausted"`, `"sync_score"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %s:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=1", nil))
+	if got := strings.Count(rec.Body.String(), `"type": "packet"`); got != 1 {
+		t.Errorf("n=1 returned %d traces", got)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/debug/traces", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestSummarizeAndExplain(t *testing.T) {
+	pt := sampleTrace(2, 0, false)
+	s := Summarize(pt)
+	if s.Pass != 1 || s.FailureReason != FailBECBudget {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Symbols 2 (margin 0.001) and 3 (fallback) are ambiguous.
+	if s.AmbiguousSymbols != 2 {
+		t.Fatalf("ambiguous = %d, want 2", s.AmbiguousSymbols)
+	}
+	if s.MinMargin != 0.001 {
+		t.Fatalf("min margin = %v", s.MinMargin)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Fatalf("nil summary = %+v", got)
+	}
+
+	var buf bytes.Buffer
+	Explain(&buf, pt)
+	out := buf.String()
+	for _, want := range []string{"FAILED (bec_budget_exhausted)", "fallback", "hdr", "+companion", "sync_score=0.88"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	Explain(&buf, nil)
+	if !strings.Contains(buf.String(), "no trace") {
+		t.Errorf("nil explain = %q", buf.String())
+	}
+}
+
+func TestSinkErrorDropsExport(t *testing.T) {
+	tr := New(Options{Sink: failWriter{}, RingSize: 2})
+	tr.Finish(sampleTrace(1, 0, true))
+	tr.Finish(sampleTrace(1, 1, true)) // must not panic after sink failure
+	if len(tr.Snapshot()) != 2 {
+		t.Fatal("ring should keep working after sink failure")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink closed" }

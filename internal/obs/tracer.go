@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Options configures a Tracer.
+type Options struct {
+	// Sink receives one JSON record per line (JSONL). Nil disables export;
+	// the ring and counters still work.
+	Sink io.Writer
+	// RingSize caps the in-memory ring of finished packet traces served at
+	// /debug/traces. 0 disables the ring.
+	RingSize int
+}
+
+// Tracer collects decode traces from every pipeline stage. A nil *Tracer is
+// fully inert: every method is safe to call and does nothing, so the
+// instrumented hot path pays one nil check (the PipelineMetrics pattern).
+//
+// One Tracer may serve many receivers (e.g. a gateway with several
+// connections); all methods are safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	ring   []*PacketTrace
+	ringAt int
+	full   bool
+
+	window   uint64
+	packets  uint64
+	decoded  uint64
+	failures map[FailureReason]uint64
+}
+
+// New builds a Tracer. Both options may be zero: the Tracer then only
+// counts, which is still useful for FailureCounts.
+func New(o Options) *Tracer {
+	t := &Tracer{failures: make(map[FailureReason]uint64)}
+	if o.Sink != nil {
+		t.enc = json.NewEncoder(o.Sink)
+	}
+	if o.RingSize > 0 {
+		t.ring = make([]*PacketTrace, o.RingSize)
+	}
+	return t
+}
+
+// NextWindow advances and returns the receiver-window sequence number.
+// Receivers call it once per processed window so packet IDs from different
+// windows (or different receivers sharing the tracer) never collide.
+func (t *Tracer) NextWindow() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.window++
+	return t.window
+}
+
+// NewPacket opens a trace for one detected packet in the given window and
+// pass. Returns nil on a nil tracer, which the PacketTrace methods accept.
+func (t *Tracer) NewPacket(window uint64, id, pass int, det Detection) *PacketTrace {
+	if t == nil {
+		return nil
+	}
+	return &PacketTrace{Window: window, ID: id, Pass: pass, Detection: det}
+}
+
+// Finish seals a trace: stamps its type, writes the JSONL record, inserts
+// it into the ring, and updates the failure counters. Final=false traces
+// (pass-1 failures about to be retried) are exported but not counted, so
+// FailureCounts reflects per-packet verdicts, not per-attempt ones.
+func (t *Tracer) Finish(pt *PacketTrace) {
+	if t == nil || pt == nil {
+		return
+	}
+	pt.Type = TypePacket
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.enc != nil {
+		// Encoding errors (closed file, full disk) drop the sink rather
+		// than failing the decode: tracing is diagnostic, not load-bearing.
+		if err := t.enc.Encode(pt); err != nil {
+			t.enc = nil
+		}
+	}
+	if len(t.ring) > 0 {
+		t.ring[t.ringAt] = pt
+		t.ringAt++
+		if t.ringAt == len(t.ring) {
+			t.ringAt = 0
+			t.full = true
+		}
+	}
+	if pt.Final {
+		t.packets++
+		if pt.OK {
+			t.decoded++
+		} else if pt.FailureReason != "" {
+			t.failures[pt.FailureReason]++
+		}
+	}
+}
+
+// OnDetect exports one detection-stage event.
+func (t *Tracer) OnDetect(ev DetectEvent) {
+	if t == nil {
+		return
+	}
+	ev.Type = TypeDetect
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.enc != nil {
+		if err := t.enc.Encode(ev); err != nil {
+			t.enc = nil
+		}
+	}
+}
+
+// OnStream exports one stream-layer event.
+func (t *Tracer) OnStream(event string, absStart float64) {
+	if t == nil {
+		return
+	}
+	ev := StreamEvent{Type: TypeStream, Event: event, AbsStart: absStart}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.enc != nil {
+		if err := t.enc.Encode(ev); err != nil {
+			t.enc = nil
+		}
+	}
+}
+
+// SetAbsStart backfills the stream-absolute start on a finished trace.
+// Taken under the tracer lock because the trace may already be visible to
+// the /debug/traces handler via the ring.
+func (t *Tracer) SetAbsStart(pt *PacketTrace, abs float64) {
+	if t == nil || pt == nil {
+		return
+	}
+	t.mu.Lock()
+	pt.AbsStart = abs
+	t.mu.Unlock()
+}
+
+// Snapshot returns the ring's finished traces, oldest first.
+func (t *Tracer) Snapshot() []*PacketTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*PacketTrace
+	if t.full {
+		out = append(out, t.ring[t.ringAt:]...)
+	}
+	out = append(out, t.ring[:t.ringAt]...)
+	return out
+}
+
+// FailureCounts returns (total final packets, decoded, failures by reason).
+func (t *Tracer) FailureCounts() (packets, decoded uint64, byReason map[FailureReason]uint64) {
+	if t == nil {
+		return 0, 0, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(map[FailureReason]uint64, len(t.failures))
+	for k, v := range t.failures {
+		m[k] = v
+	}
+	return t.packets, t.decoded, m
+}

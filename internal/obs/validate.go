@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateRecord checks one JSONL trace line against the schema: known
+// record type, required fields present, and values within the taxonomy. It
+// backs the CI smoke test (`tnbtrace -check`).
+func ValidateRecord(line []byte) error {
+	var head struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &head); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	switch head.Type {
+	case TypePacket:
+		var pt PacketTrace
+		if err := json.Unmarshal(line, &pt); err != nil {
+			return fmt.Errorf("packet record: %w", err)
+		}
+		return validatePacket(&pt)
+	case TypeDetect:
+		var ev DetectEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("detect record: %w", err)
+		}
+		if !ev.Accepted && ev.Reason == "" {
+			return fmt.Errorf("detect record: rejected candidate without a reason")
+		}
+		return nil
+	case TypeStream:
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("stream record: %w", err)
+		}
+		switch ev.Event {
+		case "deferred", "dedup", "flush":
+			return nil
+		default:
+			return fmt.Errorf("stream record: unknown event %q", ev.Event)
+		}
+	case "":
+		return fmt.Errorf("record has no \"type\" field")
+	default:
+		return fmt.Errorf("unknown record type %q", head.Type)
+	}
+}
+
+func validatePacket(pt *PacketTrace) error {
+	if pt.Pass != 1 && pt.Pass != 2 {
+		return fmt.Errorf("packet record: pass %d out of range", pt.Pass)
+	}
+	if pt.OK {
+		if pt.FailureReason != "" {
+			return fmt.Errorf("packet record: decoded packet carries failure reason %q", pt.FailureReason)
+		}
+		if pt.DataSymbols <= 0 {
+			return fmt.Errorf("packet record: decoded packet without data_symbols")
+		}
+		if pt.AirtimeSec <= 0 {
+			return fmt.Errorf("packet record: decoded packet without airtime_sec")
+		}
+	} else if pt.FailureReason == "" || !pt.FailureReason.Valid() {
+		return fmt.Errorf("packet record: failed packet needs a valid failure reason, got %q", pt.FailureReason)
+	}
+	if pt.SyncScore < 0 || pt.SyncScore > 1 {
+		return fmt.Errorf("packet record: sync_score %v out of [0,1]", pt.SyncScore)
+	}
+	for _, s := range pt.Symbols {
+		if s.Idx < 0 || s.Idx >= len(pt.Symbols) {
+			return fmt.Errorf("packet record: symbol idx %d out of range", s.Idx)
+		}
+	}
+	for _, b := range pt.Blocks {
+		if b.CR < 1 || b.CR > 4 {
+			return fmt.Errorf("packet record: block cr %d out of range", b.CR)
+		}
+	}
+	return nil
+}
+
+// ValidateJSONL validates every line of a JSONL stream, returning the
+// per-type record counts or the first error annotated with its line number.
+func ValidateJSONL(r io.Reader) (map[string]int, error) {
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := ValidateRecord(line); err != nil {
+			return counts, fmt.Errorf("line %d: %w", n, err)
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		_ = json.Unmarshal(line, &head)
+		counts[head.Type]++
+	}
+	if err := sc.Err(); err != nil {
+		return counts, err
+	}
+	return counts, nil
+}

@@ -9,9 +9,20 @@ import (
 	"tnb/internal/channel"
 	"tnb/internal/core"
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 	"tnb/internal/thrive"
 	"tnb/internal/trace"
 )
+
+// tracer, when set, is handed to every TnB-family receiver runScheme
+// builds, so offline figure runs export the same per-packet decode traces
+// as a live gateway (tnbsim -trace-out). Baseline schemes (CIC, LoRaPHY,
+// mLoRa, Choir) do not run the TnB pipeline and emit no traces.
+var tracer *obs.Tracer
+
+// SetTracer installs the process-wide experiment tracer. Call before the
+// figure runs; not safe to change mid-run.
+func SetTracer(t *obs.Tracer) { tracer = t }
 
 // Scheme identifies one decoder under test (paper §8.2, §8.4, §8.5).
 type Scheme int
@@ -178,7 +189,8 @@ func runScheme(s Scheme, gt *GroundTruth, cfg Config) []decodedPacket {
 		// Record into the process-wide pipeline instruments so offline
 		// simulations share the live gateway's metrics schema (dumped by
 		// tnbsim -metrics-out). Atomic counters: safe under ParallelRuns.
-		rc := core.Config{Params: p, UseBEC: true, Seed: cfg.Seed, Metrics: core.DefaultPipelineMetrics()}
+		rc := core.Config{Params: p, UseBEC: true, Seed: cfg.Seed,
+			Metrics: core.DefaultPipelineMetrics(), Tracer: tracer}
 		switch s {
 		case SchemeThrive:
 			rc.UseBEC = false

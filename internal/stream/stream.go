@@ -16,6 +16,7 @@ import (
 
 	"tnb/internal/core"
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 )
 
 // ErrConcurrentUse is returned by Feed and Flush when a call overlaps
@@ -40,6 +41,7 @@ type Streamer struct {
 	rx     *core.Receiver
 	params lora.Params
 	met    *Metrics
+	tracer *obs.Tracer
 	inUse  atomic.Bool
 
 	// window is the number of samples decoded per pass; overlap is the
@@ -95,6 +97,7 @@ func New(cfg Config) (*Streamer, error) {
 		rx:      core.NewReceiver(cfg.Receiver),
 		params:  p,
 		met:     cfg.Metrics,
+		tracer:  cfg.Receiver.Tracer,
 		window:  window,
 		overlap: overlap,
 		emitted: map[string]bool{},
@@ -144,6 +147,7 @@ func (s *Streamer) Flush() ([]Decoded, error) {
 	}
 	out := s.process(len(s.buf), float64(len(s.buf)))
 	s.met.onFlush()
+	s.tracer.OnStream("flush", float64(s.absBase))
 	s.buf = s.buf[:0]
 	s.met.setBuffer(0)
 	return out, nil
@@ -156,6 +160,7 @@ func (s *Streamer) process(n int, commitBefore float64) []Decoded {
 	for _, d := range s.rx.DecodeSamples([][]complex128{s.buf[:n]}) {
 		if d.Start >= commitBefore {
 			s.met.onDeferred()
+			s.tracer.OnStream("deferred", d.Start+float64(s.absBase))
 			continue // will be seen whole in the next window
 		}
 		abs := d.Start + float64(s.absBase)
@@ -172,12 +177,14 @@ func (s *Streamer) process(n int, commitBefore float64) []Decoded {
 		}
 		if dup {
 			s.met.onDedup()
+			s.tracer.OnStream("dedup", abs)
 			continue
 		}
 		if len(s.emitted) >= s.maxEmit {
 			s.emitted = map[string]bool{}
 		}
 		s.emitted[dedupKey(d.Payload, cell)] = true
+		s.tracer.SetAbsStart(d.Trace, abs)
 		out = append(out, Decoded{Decoded: d, AbsStart: abs})
 	}
 	return out

@@ -7,6 +7,7 @@ import (
 
 	"tnb/internal/core"
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 	"tnb/internal/trace"
 )
 
@@ -209,5 +210,55 @@ func TestNewStreamerValidation(t *testing.T) {
 		WindowSamples: 10, // smaller than the overlap
 	}); err == nil {
 		t.Error("window smaller than overlap accepted")
+	}
+}
+
+func TestStreamerTraceEvents(t *testing.T) {
+	// A traced streaming run must export stream-layer events (at least the
+	// final flush) alongside the packet traces, and every committed packet's
+	// trace must carry its stream-absolute start.
+	tr, _ := buildLongTrace(t, 806, 4, 2.0)
+	var jsonl bytes.Buffer
+	tracer := obs.New(obs.Options{Sink: &jsonl, RingSize: 32})
+	s, err := New(Config{Receiver: core.Config{
+		Params: streamParams(), UseBEC: true, Tracer: tracer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := tr.Antennas[0]
+	var got []Decoded
+	chunk := 150_000
+	for off := 0; off < len(samples); off += chunk {
+		end := off + chunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		got = append(got, mustFeed(t, s, samples[off:end])...)
+	}
+	got = append(got, mustFlush(t, s)...)
+	if len(got) == 0 {
+		t.Fatal("nothing decoded")
+	}
+
+	for i, d := range got {
+		if d.Trace == nil {
+			t.Fatalf("decoded %d has no trace", i)
+		}
+		if d.Trace.AbsStart != d.AbsStart {
+			t.Errorf("decoded %d: trace abs start %.1f, report start %.1f",
+				i, d.Trace.AbsStart, d.AbsStart)
+		}
+	}
+
+	counts, err := obs.ValidateJSONL(&jsonl)
+	if err != nil {
+		t.Fatalf("exported JSONL invalid: %v", err)
+	}
+	if counts[obs.TypeStream] == 0 {
+		t.Errorf("no stream events exported: %v", counts)
+	}
+	if counts[obs.TypePacket] == 0 {
+		t.Errorf("no packet traces exported: %v", counts)
 	}
 }

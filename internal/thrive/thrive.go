@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"tnb/internal/lora"
+	"tnb/internal/obs"
 	"tnb/internal/peaks"
 	"tnb/internal/stats"
 )
@@ -75,6 +76,10 @@ type PacketState struct {
 	// failed packets.
 	Alternates []int
 
+	// Trace, when non-nil, records each symbol's assignment decision
+	// (winning peak, runner-up, cost split, margin). Nil costs nothing.
+	Trace *obs.PacketTrace
+
 	historySeed []float64 // preamble peak heights (bootstrap)
 }
 
@@ -125,7 +130,11 @@ type symbol struct {
 	y     []float64 // masked working copy of the signal vector
 	ps    []peaks.Peak
 	costs []float64
-	alive bool
+	// sibCosts/histCosts keep the per-peak cost split for tracing;
+	// allocated only when the packet carries a trace.
+	sibCosts  []float64
+	histCosts []float64
+	alive     bool
 }
 
 // Run assigns peaks for every unknown packet across the trace of traceLen
@@ -208,16 +217,25 @@ func (e *Engine) runCheckingPoint(pkts []*PacketState, cp float64) {
 	// Matching costs.
 	for _, s := range syms {
 		s.costs = make([]float64, len(s.ps))
+		if s.pkt.Trace != nil {
+			s.sibCosts = make([]float64, len(s.ps))
+			s.histCosts = make([]float64, len(s.ps))
+		}
 		var hist *historyFit
 		if e.cfg.Policy == PolicyThrive {
 			hist = e.fitHistory(s.pkt, s.idx)
 		}
 		for pi, pk := range s.ps {
-			c := e.siblingCost(s, pk, syms, n)
+			sc := e.siblingCost(s, pk, syms, n)
+			hc := 0.0
 			if hist != nil {
-				c += e.historyCost(hist, pk.Height)
+				hc = e.historyCost(hist, pk.Height)
 			}
-			s.costs[pi] = c
+			if s.sibCosts != nil {
+				s.sibCosts[pi] = sc
+				s.histCosts[pi] = hc
+			}
+			s.costs[pi] = sc + hc
 		}
 	}
 
@@ -232,10 +250,15 @@ func (e *Engine) runCheckingPoint(pkts []*PacketState, cp float64) {
 	// Any symbol left without peaks falls back to its strongest bin.
 	for _, s := range syms {
 		if s.alive {
-			e.finalize(s, peaks.HighestBin(s.y), s.y[peaks.HighestBin(s.y)])
+			hb := peaks.HighestBin(s.y)
+			e.finalize(s, hb, s.y[hb], fallbackDecision)
 		}
 	}
 }
+
+// fallbackDecision marks a symbol assigned without a surviving peak; the
+// finalize call fills in the bin and height.
+var fallbackDecision = obs.SymbolDecision{Alt: -1, Margin: -1, Fallback: true}
 
 // maskKnownInto removes peaks of a known source (preamble of any packet, or
 // all symbols of a decoded packet) from the target symbol's working vector.
@@ -247,6 +270,11 @@ func (e *Engine) maskKnownInto(target *symbol, src *PacketState, symSamples, n i
 		}
 		pos := math.Mod(float64(bin)+target.pkt.Calc.Alpha()-src.Calc.Alpha(), float64(n))
 		peaks.MaskPeak(target.y, pos)
+		if j >= 0 {
+			// Data-symbol masks come from decoded colliders (second-pass
+			// masking); preamble masks (j < 0) are routine and not counted.
+			target.pkt.Trace.OnMask(1)
+		}
 	}
 }
 
@@ -459,14 +487,22 @@ func (e *Engine) assignBest(sel *symbol, syms []*symbol, n int) {
 		}
 	}
 	if bi < 0 {
-		e.finalize(sel, peaks.HighestBin(sel.y), sel.y[peaks.HighestBin(sel.y)])
+		hb := peaks.HighestBin(sel.y)
+		e.finalize(sel, hb, sel.y[hb], fallbackDecision)
 		return
+	}
+	d := obs.SymbolDecision{Alt: -1, Margin: -1, Cost: best}
+	if sel.sibCosts != nil {
+		d.SiblingCost = sel.sibCosts[bi]
+		d.HistoryCost = sel.histCosts[bi]
 	}
 	if si >= 0 {
 		sel.pkt.Alternates[sel.idx] = sel.ps[si].Bin
+		d.Alt = sel.ps[si].Bin
+		d.Margin = second - best
 	}
 	pk := sel.ps[bi]
-	e.finalize(sel, pk.Bin, pk.Height)
+	e.finalize(sel, pk.Bin, pk.Height, d)
 	for _, os := range syms {
 		if !os.alive || os == sel {
 			continue
@@ -477,22 +513,38 @@ func (e *Engine) assignBest(sel *symbol, syms []*symbol, n int) {
 		}
 		filtered := os.ps[:0]
 		kept := make([]float64, 0, len(os.costs))
+		keptSib, keptHist := os.sibCosts[:0], os.histCosts[:0]
 		for pi, opk := range os.ps {
 			if circDist(float64(opk.Bin), pos, n) <= 1.5 {
 				continue
 			}
 			filtered = append(filtered, opk)
 			kept = append(kept, os.costs[pi])
+			if os.sibCosts != nil {
+				keptSib = append(keptSib, os.sibCosts[pi])
+				keptHist = append(keptHist, os.histCosts[pi])
+			}
 		}
 		os.ps, os.costs = filtered, kept
+		if os.sibCosts != nil {
+			os.sibCosts, os.histCosts = keptSib, keptHist
+		}
 		peaks.MaskPeak(os.y, pos)
 	}
 }
 
-func (e *Engine) finalize(s *symbol, bin int, height float64) {
+// finalize commits the assignment and records the traced decision; d's Idx,
+// Bin, and Height are filled here so callers only supply the cost fields.
+func (e *Engine) finalize(s *symbol, bin int, height float64, d obs.SymbolDecision) {
 	s.pkt.Assigned[s.idx] = bin
 	s.pkt.Heights[s.idx] = height
 	s.alive = false
+	if s.pkt.Trace != nil {
+		d.Idx = s.idx
+		d.Bin = bin
+		d.Height = height
+		s.pkt.Trace.SetSymbol(d)
+	}
 }
 
 // assignAlignTrack implements the AlignTrack* policy: every symbol takes
@@ -521,12 +573,12 @@ func (e *Engine) assignAlignTrack(syms []*symbol, n int) {
 		case len(aligned) > 0:
 			// Arbitrary choice among aligned peaks: take the first
 			// (peaks are sorted by height, so the strongest).
-			e.finalize(s, aligned[0].Bin, aligned[0].Height)
+			e.finalize(s, aligned[0].Bin, aligned[0].Height, obs.SymbolDecision{Alt: -1, Margin: -1})
 		case len(s.ps) > 0:
-			e.finalize(s, s.ps[0].Bin, s.ps[0].Height)
+			e.finalize(s, s.ps[0].Bin, s.ps[0].Height, obs.SymbolDecision{Alt: -1, Margin: -1})
 		default:
 			hb := peaks.HighestBin(s.y)
-			e.finalize(s, hb, s.y[hb])
+			e.finalize(s, hb, s.y[hb], fallbackDecision)
 		}
 	}
 }
