@@ -11,7 +11,9 @@ package tnb
 // The full-scale series are produced by cmd/tnbsim and cmd/becprob.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -488,20 +490,32 @@ func BenchmarkReceiver(b *testing.B) {
 	}
 	tr, _ := tb.Build()
 
-	run := func(b *testing.B, met *core.PipelineMetrics, tracer *obs.Tracer) {
-		rx := core.NewReceiver(core.Config{Params: p, UseBEC: true, Metrics: met, Tracer: tracer})
+	run := func(b *testing.B, workers int, met *core.PipelineMetrics, tracer *obs.Tracer) {
+		rx := core.NewReceiver(core.Config{Params: p, UseBEC: true, Workers: workers,
+			Metrics: met, Tracer: tracer})
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if len(rx.Decode(tr)) == 0 {
 				b.Fatal("nothing decoded")
 			}
 		}
+		b.StopTimer()
+		samples := float64(len(tr.Antennas[0])) * float64(b.N)
+		b.ReportMetric(samples/b.Elapsed().Seconds(), "samples/sec")
 	}
-	b.Run("bare", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("bare", func(b *testing.B) { run(b, 1, nil, nil) })
 	b.Run("instrumented", func(b *testing.B) {
-		run(b, core.NewPipelineMetrics(metrics.NewRegistry()), nil)
+		run(b, 1, core.NewPipelineMetrics(metrics.NewRegistry()), nil)
 	})
 	b.Run("traced", func(b *testing.B) {
-		run(b, nil, obs.New(obs.Options{RingSize: 64}))
+		run(b, 1, nil, obs.New(obs.Options{RingSize: 64}))
 	})
+	// The worker-pool scaling curve: identical output at every width (the
+	// determinism tests assert it), so the deltas here are pure wall-clock.
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run(b, workers, nil, nil)
+		})
+	}
 }

@@ -40,6 +40,7 @@ func main() {
 		scheme   = flag.String("scheme", "tnb", "tnb | thrive | sibling")
 		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
 		explain  = flag.Int("explain", -2, "print the decode trace of packet N (start order, decoded and failed); -1 lists all packets")
+		workers  = flag.Int("workers", 0, "receiver worker-pool width (0 = all cores, 1 = serial); output is identical for every value")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := core.Config{Params: params, UseBEC: !*noBEC}
+	cfg := core.Config{Params: params, UseBEC: !*noBEC, Workers: *workers}
 	switch *scheme {
 	case "tnb", "thrive":
 	case "sibling":

@@ -41,6 +41,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
 	traceOut := flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
 	traceRing := flag.Int("trace-ring", 256, "decode traces kept for GET /debug/traces")
+	workers := flag.Int("workers", 0, "receiver worker-pool width per connection (0 = all cores, 1 = serial); output is identical for every value")
 	flag.Parse()
 
 	logOut := io.Writer(os.Stderr)
@@ -64,7 +65,7 @@ func main() {
 	}
 	tracer := obs.New(obs.Options{Sink: sink, RingSize: *traceRing})
 
-	srv := &gateway.Server{Registry: metrics.Default, Tracer: tracer, Log: log}
+	srv := &gateway.Server{Registry: metrics.Default, Tracer: tracer, Log: log, Workers: *workers}
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", metrics.Handler(metrics.Default))

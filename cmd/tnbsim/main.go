@@ -33,8 +33,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		metaOut  = flag.String("metrics-out", "", "write the pipeline metrics registry as JSON to this file (same schema as the gateway's /metrics.json)")
 		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file (TnB-family schemes only)")
+		workers  = flag.Int("workers", 1, "receiver worker-pool width per decode (0 = all cores, 1 = serial); output is identical for every value")
 	)
 	flag.Parse()
+	sim.SetWorkers(*workers)
 
 	var traceFile *os.File
 	if *traceOut != "" {

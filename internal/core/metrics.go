@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tnb/internal/metrics"
+	"tnb/internal/parallel"
 )
 
 // PipelineMetrics instruments the receiver pipeline of Fig. 3. All methods
@@ -25,6 +26,17 @@ type PipelineMetrics struct {
 	DecodeFailed     *metrics.Counter // assigned packets that failed header/CRC
 	RescuedCodewords *metrics.Counter // codewords fixed by BEC beyond Hamming
 	Windows          *metrics.Counter // DecodeSamples invocations
+
+	// Worker-pool health: the configured pool width, and per-stage speedup
+	// (busy/wall, 1000 = serial) plus pool utilization (busy/(wall·workers),
+	// 1000 = every worker busy the whole stage), from the latest fan-out.
+	PoolWorkers        *metrics.Gauge
+	RefineSpeedup      *metrics.Gauge // detect: candidate refinement
+	SigCalcSpeedup     *metrics.Gauge // calculator prefill + state build
+	DecodeSpeedup      *metrics.Gauge // BEC/Hamming decode fan-out
+	RefineUtilization  *metrics.Gauge
+	SigCalcUtilization *metrics.Gauge
+	DecodeUtilization  *metrics.Gauge
 }
 
 // NewPipelineMetrics registers the pipeline instruments on reg.
@@ -43,6 +55,14 @@ func NewPipelineMetrics(reg *metrics.Registry) *PipelineMetrics {
 		DecodeFailed:     reg.Counter("tnb_packets_decode_failed_total"),
 		RescuedCodewords: reg.Counter("tnb_bec_rescued_codewords_total"),
 		Windows:          reg.Counter("tnb_receiver_windows_total"),
+
+		PoolWorkers:        reg.Gauge("tnb_parallel_workers"),
+		RefineSpeedup:      reg.Gauge(`tnb_parallel_speedup_permille{stage="refine"}`),
+		SigCalcSpeedup:     reg.Gauge(`tnb_parallel_speedup_permille{stage="sigcalc"}`),
+		DecodeSpeedup:      reg.Gauge(`tnb_parallel_speedup_permille{stage="decode"}`),
+		RefineUtilization:  reg.Gauge(`tnb_parallel_utilization_permille{stage="refine"}`),
+		SigCalcUtilization: reg.Gauge(`tnb_parallel_utilization_permille{stage="sigcalc"}`),
+		DecodeUtilization:  reg.Gauge(`tnb_parallel_utilization_permille{stage="decode"}`),
 	}
 }
 
@@ -118,5 +138,35 @@ func (m *PipelineMetrics) onDetected(n int) {
 	if m != nil {
 		m.Windows.Inc()
 		m.PacketsDetected.Add(uint64(n))
+	}
+}
+
+// onPoolWorkers records the resolved worker-pool width.
+func (m *PipelineMetrics) onPoolWorkers(n int) {
+	if m != nil {
+		m.PoolWorkers.Set(int64(n))
+	}
+}
+
+// The onStageParallel methods record one fan-out's speedup and utilization.
+
+func (m *PipelineMetrics) onRefineParallel(st parallel.Stats) {
+	if m != nil {
+		m.RefineSpeedup.Set(st.SpeedupPermille())
+		m.RefineUtilization.Set(st.UtilizationPermille())
+	}
+}
+
+func (m *PipelineMetrics) onSigCalcParallel(st parallel.Stats) {
+	if m != nil {
+		m.SigCalcSpeedup.Set(st.SpeedupPermille())
+		m.SigCalcUtilization.Set(st.UtilizationPermille())
+	}
+}
+
+func (m *PipelineMetrics) onDecodeParallel(st parallel.Stats) {
+	if m != nil {
+		m.DecodeSpeedup.Set(st.SpeedupPermille())
+		m.DecodeUtilization.Set(st.UtilizationPermille())
 	}
 }

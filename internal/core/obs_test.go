@@ -136,14 +136,14 @@ func TestFailureAttributionBECBudget(t *testing.T) {
 	tr, recs := makeTrace(t, 308, p, 1.3, specs)
 
 	// Control: the default budget decodes both packets.
-	rd := NewReceiver(Config{Params: p, UseBEC: true, Seed: 8})
+	rd := NewReceiver(Config{Params: p, UseBEC: true, Seed: 7})
 	if got := countDecoded(rd.Decode(tr), recs); got != 2 {
 		t.Fatalf("control decode: %d/2 packets", got)
 	}
 
 	var jsonl bytes.Buffer
 	tracer := obs.New(obs.Options{Sink: &jsonl, RingSize: 16})
-	r := NewReceiver(Config{Params: p, UseBEC: true, Seed: 8, W: 1, Tracer: tracer})
+	r := NewReceiver(Config{Params: p, UseBEC: true, Seed: 7, W: 1, Tracer: tracer})
 	if got := countDecoded(r.Decode(tr), recs); got != 1 {
 		t.Fatalf("W=1 decode: %d/2 packets, want exactly 1", got)
 	}

@@ -13,6 +13,7 @@ import (
 	"tnb/internal/detect"
 	"tnb/internal/lora"
 	"tnb/internal/obs"
+	"tnb/internal/parallel"
 	"tnb/internal/peaks"
 	"tnb/internal/stats"
 	"tnb/internal/thrive"
@@ -47,8 +48,15 @@ type Config struct {
 	// ListDecodeBudget caps the substitution attempts per packet
 	// (0 → 24).
 	ListDecodeBudget int
-	// Seed drives BEC's random candidate sampling.
+	// Seed drives BEC's random candidate sampling. Each packet gets its own
+	// deterministic stream derived from (Seed, pass, packet index), so the
+	// sampling is independent of decode order and worker count.
 	Seed int64
+	// Workers caps the goroutines used by the parallel pipeline stages
+	// (candidate refinement, signal-vector prefill, packet decoding).
+	// 0 uses GOMAXPROCS; 1 runs fully serial. The decoded output is
+	// byte-identical for every value.
+	Workers int
 	// Metrics receives per-stage latencies and pipeline counters; nil
 	// disables instrumentation (the sample path is then a nil check).
 	// Use DefaultPipelineMetrics() to record into the process registry.
@@ -90,7 +98,6 @@ type Receiver struct {
 	cfg      Config
 	detector *detect.Detector
 	demod    *lora.Demodulator
-	rng      *rand.Rand
 	met      *PipelineMetrics
 	obs      *obs.Tracer
 }
@@ -103,14 +110,32 @@ func NewReceiver(cfg Config) *Receiver {
 	d := detect.NewDetector(cfg.Params)
 	d.Trace = cfg.Tracer
 	d.CFOBiasCycles = cfg.FaultCFOBiasCycles
+	d.Workers = cfg.Workers
 	return &Receiver{
 		cfg:      cfg,
 		detector: d,
 		demod:    d.Demodulator(),
-		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 		met:      cfg.Metrics,
 		obs:      cfg.Tracer,
 	}
+}
+
+// packetRNG returns the BEC sampling source for one packet of one pass.
+// Seeding per (pass, packet) instead of sharing one stream across packets
+// makes the rare random-sampling fallback independent of decode order, which
+// is what lets decodeAssigned fan out without changing its output.
+func (r *Receiver) packetRNG(pass, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(r.cfg.Seed + 1 + int64(pass)*1_000_003 + int64(idx)*7919))
+}
+
+// prefillWorkers splits the pool across npkts packets: packets are the outer
+// fan-out, and when the pool is wider than the packet count the remainder
+// accelerates each packet's own vector prefill.
+func prefillWorkers(workers, npkts int) int {
+	if npkts <= 0 || workers <= npkts {
+		return 1
+	}
+	return (workers + npkts - 1) / npkts
 }
 
 // Decode runs the full pipeline on a trace and returns the decoded packets
@@ -121,9 +146,11 @@ func (r *Receiver) Decode(tr *trace.Trace) []Decoded {
 
 // DecodeSamples is Decode for raw per-antenna sample slices.
 func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
+	r.met.onPoolWorkers(parallel.Workers(r.cfg.Workers))
 	t0 := r.met.now()
 	pkts := r.detector.Detect(antennas)
 	r.met.observeDetect(t0)
+	r.met.onRefineParallel(r.detector.RefineStats)
 	r.met.onDetected(len(pkts))
 	if len(pkts) == 0 {
 		return nil
@@ -131,25 +158,51 @@ func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
 	p := r.cfg.Params
 	traceLen := len(antennas[0])
 
+	// Stage 2: per-packet calculators, prefilled so every later SigVec read
+	// — Thrive, SNR estimation, list decoding — is a pure cached read.
+	// Packets fan out across the pool; leftover width speeds up each
+	// packet's own prefill. Traces are opened serially afterwards so the
+	// tracer sees packets in detection order.
 	window := r.obs.NextWindow()
 	t0 = r.met.now()
+	inner := prefillWorkers(parallel.Workers(r.cfg.Workers), len(pkts))
 	states := make([]*thrive.PacketState, len(pkts))
-	for i, pk := range pkts {
-		states[i] = thrive.NewPacketState(i, r.newCalc(antennas, pk, traceLen))
-		states[i].Trace = r.newTrace(window, i, 1, pk, states[i])
+	sigSt := parallel.ForEach(r.cfg.Workers, len(pkts), func(_, i int) {
+		calc := r.newCalc(antennas, pkts[i], traceLen)
+		calc.Prefill(inner)
+		states[i] = thrive.NewPacketState(i, calc)
+	})
+	for i := range states {
+		states[i].Trace = r.newTrace(window, i, 1, pkts[i], states[i])
 	}
 	r.met.observeSigCalc(t0)
+	r.met.onSigCalcParallel(sigSt)
 
+	// Thrive's greedy assignment is order-dependent by design and stays
+	// serial; with prefilled calculators it only does pure reads.
 	engine := thrive.NewEngine(p, thrive.Config{Policy: r.cfg.Policy, Omega: r.cfg.Omega})
 	t0 = r.met.now()
 	engine.Run(states, traceLen)
 	r.met.observeThrive(t0)
 
+	// Stage 4: decode every assigned packet concurrently into indexed
+	// slots, then merge in detection order.
+	type outcome struct {
+		dec Decoded
+		ok  bool
+	}
+	results := make([]outcome, len(states))
+	decSt := parallel.ForEach(r.cfg.Workers, len(states), func(_, i int) {
+		dec, ok := r.decodeAssigned(states[i], pkts[i], 1, i)
+		results[i] = outcome{dec: dec, ok: ok}
+	})
+	r.met.onDecodeParallel(decSt)
+
 	var out []Decoded
 	decodedIdx := map[int]bool{}
-	for i, st := range states {
-		if dec, ok := r.decodeAssigned(st, pkts[i], 1); ok {
-			out = append(out, dec)
+	for i, res := range results {
+		if res.ok {
+			out = append(out, res.dec)
 			decodedIdx[i] = true
 		}
 	}
@@ -233,10 +286,15 @@ func (r *Receiver) newCalc(antennas [][]complex128, pk detect.Packet, traceLen i
 	return peaks.NewCalculator(r.demod, antennas, pk.Start, pk.CFOCycles, maxSyms)
 }
 
-// decodeAssigned turns a packet's assigned peak bins into a payload.
-func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass int) (Decoded, bool) {
+// decodeAssigned turns a packet's assigned peak bins into a payload. idx is
+// the packet's detection index, which seeds its BEC sampling stream. It runs
+// concurrently across packets: everything it touches is either per-packet
+// (state, trace, rng), atomic (metrics), or a pure read (prefilled
+// calculator, shared demodulator).
+func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass, idx int) (Decoded, bool) {
 	t0 := r.met.now()
 	defer r.met.observeDecode(t0)
+	rng := r.packetRNG(pass, idx)
 	p := r.cfg.Params
 	shifts := make([]int, len(st.Assigned))
 	for i, b := range st.Assigned {
@@ -258,7 +316,7 @@ func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass
 	decodeOnce := func(sh []int) (lora.Header, []uint8, int, bool) {
 		attempts++
 		if r.cfg.UseBEC {
-			pd := bec.NewPacketDecoder(r.cfg.W, r.rng)
+			pd := bec.NewPacketDecoder(r.cfg.W, rng)
 			if attempts == 1 {
 				// Block outcomes are traced for the first attempt only;
 				// list-decode retries would append duplicate rows.
@@ -422,32 +480,57 @@ func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 	engine *thrive.Engine, window uint64) []Decoded {
 
 	t0 := r.met.now()
+	inner := prefillWorkers(parallel.Workers(r.cfg.Workers), len(pkts))
 	retry := make([]*thrive.PacketState, len(pkts))
-	for i, pk := range pkts {
-		st := thrive.NewPacketState(i, r.newCalc(antennas, pk, traceLen))
+	sigSt := parallel.ForEach(r.cfg.Workers, len(pkts), func(_, i int) {
+		st := thrive.NewPacketState(i, r.newCalc(antennas, pkts[i], traceLen))
 		if decodedIdx[i] {
 			st.Known = true
 			st.KnownShifts = states[i].KnownShifts
+			// A known packet contributes only its masked peak positions and
+			// preamble history; its data vectors are never read.
+			st.Calc.PrefillPreamble()
 		} else {
 			st.PriorHeights = append([]float64(nil), states[i].Heights...)
-			st.Trace = r.newTrace(window, i, 2, pk, st)
+			st.Calc.Prefill(inner)
 		}
 		retry[i] = st
+	})
+	for i := range retry {
+		if !decodedIdx[i] {
+			retry[i].Trace = r.newTrace(window, i, 2, pkts[i], retry[i])
+		}
 	}
 	r.met.observeSigCalc(t0)
+	r.met.onSigCalcParallel(sigSt)
 	t0 = r.met.now()
 	engine.Run(retry, traceLen)
 	r.met.observeThrive(t0)
 
+	type outcome struct {
+		dec Decoded
+		ok  bool
+	}
+	var retryIdx []int
+	for i := range retry {
+		if !decodedIdx[i] {
+			retryIdx = append(retryIdx, i)
+		}
+	}
+	results := make([]outcome, len(retryIdx))
+	decSt := parallel.ForEach(r.cfg.Workers, len(retryIdx), func(_, j int) {
+		i := retryIdx[j]
+		dec, ok := r.decodeAssigned(retry[i], pkts[i], 2, i)
+		results[j] = outcome{dec: dec, ok: ok}
+	})
+	r.met.onDecodeParallel(decSt)
+
 	var out []Decoded
-	for i, st := range retry {
-		if decodedIdx[i] {
-			continue
+	for j, i := range retryIdx {
+		if results[j].ok {
+			out = append(out, results[j].dec)
 		}
-		if dec, ok := r.decodeAssigned(st, pkts[i], 2); ok {
-			out = append(out, dec)
-		}
-		if pt := st.Trace; pt != nil {
+		if pt := retry[i].Trace; pt != nil {
 			pt.Final = true
 			r.obs.Finish(pt)
 		}

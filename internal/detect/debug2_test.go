@@ -24,7 +24,7 @@ func TestDebugMissedCollider(t *testing.T) {
 	cands := d.scanPreambles(tr.Antennas)
 	for _, c := range cands {
 		t.Logf("cand: window %d bin %d h %.3e", c.window, c.bin, c.height)
-		pkt, reject := d.refine(tr.Antennas, c)
+		pkt, reject := d.refine(tr.Antennas, c, d.newRefineScratch())
 		t.Logf("  refine: %+v reject=%q", pkt, reject)
 	}
 	for _, r := range recs {

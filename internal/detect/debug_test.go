@@ -29,18 +29,18 @@ func TestDebugSyncSurface(t *testing.T) {
 	t.Logf("true start %.2f cfo %.4f cycles", recs[0].StartSample, cfoHz*p.SymbolDuration())
 	t.Logf("candidates: %+v", cands)
 	for _, c := range cands {
-		pkt, reject := d.refine(tr.Antennas, c)
+		pkt, reject := d.refine(tr.Antennas, c, d.newRefineScratch())
 		t.Logf("refined: %+v reject=%q", pkt, reject)
 	}
 	// Examine the Q surface around the true parameters.
 	start := recs[0].StartSample
 	cfo := cfoHz * p.SymbolDuration()
 	for _, df := range []float64{-1, -0.5, 0, 0.28, 0.5, 1} {
-		r := d.evalQ(tr.Antennas, start, cfo, 0, df)
+		r := d.evalQ(tr.Antennas, start, cfo, 0, df, d.newRefineScratch())
 		t.Logf("df=%+.2f: E=%.3e up=%d down=%d qstar=%.3e", df, r.energy, r.upBin, r.downBin, d.qStar(r))
 	}
 	for _, dt := range []float64{-8, -4, 0, 4, 8} {
-		r := d.evalQ(tr.Antennas, start, cfo, dt, 0)
+		r := d.evalQ(tr.Antennas, start, cfo, dt, 0, d.newRefineScratch())
 		t.Logf("dt=%+.1f: E=%.3e up=%d down=%d qstar=%.3e", dt, r.energy, r.upBin, r.downBin, d.qStar(r))
 	}
 }

@@ -3,6 +3,12 @@
 // with ±2T adjustments (step 2), coarse timing/CFO estimation from the
 // upchirp and downchirp peak locations (step 3), and the 3-phase fractional
 // timing/CFO search over the Q/Q* functions (step 4).
+//
+// Candidate refinement (steps 2–4) is embarrassingly parallel: each
+// candidate's ±2T × fractional Q/Q* search touches only read-shared trace
+// samples and per-worker scratch, so Detect fans refinement out across
+// Workers goroutines and merges results in candidate order — the output is
+// identical for every worker count.
 package detect
 
 import (
@@ -11,6 +17,7 @@ import (
 
 	"tnb/internal/lora"
 	"tnb/internal/obs"
+	"tnb/internal/parallel"
 	"tnb/internal/peaks"
 	"tnb/internal/stats"
 )
@@ -38,6 +45,13 @@ type Detector struct {
 	// MinPeakHeight discards detection peaks below this height (absolute,
 	// in signal-vector units). Zero selects an adaptive threshold.
 	MinPeakHeight float64
+	// Workers caps the goroutines refining preamble candidates
+	// (0 → GOMAXPROCS, 1 → serial). Results are merged in candidate order,
+	// so the value never changes the output.
+	Workers int
+	// RefineStats reports the last Detect call's refinement fan-out (wall
+	// and summed busy time); the receiver exports it as a speedup gauge.
+	RefineStats parallel.Stats
 	// Trace, when non-nil, receives one event per preamble candidate:
 	// accepted with the refined estimates, or rejected with the reason.
 	Trace *obs.Tracer
@@ -46,6 +60,8 @@ type Detector struct {
 	// way a wrong sync lock would. Used by the failure-attribution tests;
 	// zero in production.
 	CFOBiasCycles float64
+
+	scanMed []float64 // median scratch for scanPreambles' selectivity
 }
 
 // NewDetector builds a detector with the paper's defaults.
@@ -70,6 +86,31 @@ type candidate struct {
 	height float64
 }
 
+// refineScratch is one worker's reusable buffers for steps 2–4: the
+// accumulators refine and validatePreamble used to allocate per window and
+// per hypothesis, the coherent sums of evalQ, and the median scratch of
+// peakNearZero.
+type refineScratch struct {
+	acc     []float64    // summed signal vector (validate + down location)
+	y       []float64    // per-antenna magnitude vector
+	buf     []complex128 // dechirp/FFT buffer
+	upSum   []complex128 // coherent preamble sum (evalQ)
+	downSum []complex128 // coherent downchirp sum (evalQ)
+	med     []float64    // MedianScratch working space
+}
+
+func (d *Detector) newRefineScratch() *refineScratch {
+	n := d.p.N()
+	return &refineScratch{
+		acc:     make([]float64, n),
+		y:       make([]float64, n),
+		buf:     make([]complex128, n),
+		upSum:   make([]complex128, n),
+		downSum: make([]complex128, n),
+		med:     make([]float64, n),
+	}
+}
+
 // Detect scans the trace (all antennas, signal vectors summed) and returns
 // the refined packets sorted by start time.
 func (d *Detector) Detect(antennas [][]complex128) []Packet {
@@ -77,13 +118,38 @@ func (d *Detector) Detect(antennas [][]complex128) []Packet {
 		return nil
 	}
 	cands := d.scanPreambles(antennas)
+
+	type refined struct {
+		pkt    Packet
+		reject string
+	}
+	results := make([]refined, len(cands))
+	maxWorkers := parallel.Workers(d.Workers)
+	if maxWorkers > len(cands) {
+		maxWorkers = len(cands)
+	}
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	scratches := make([]*refineScratch, maxWorkers)
+	d.RefineStats = parallel.ForEach(d.Workers, len(cands), func(w, i int) {
+		if scratches[w] == nil {
+			scratches[w] = d.newRefineScratch()
+		}
+		pkt, reject := d.refine(antennas, cands[i], scratches[w])
+		results[i] = refined{pkt: pkt, reject: reject}
+	})
+
+	// Merge in candidate order: trace events and the packet list are
+	// byte-identical to the serial path regardless of scheduling.
 	var pkts []Packet
-	for _, c := range cands {
-		pkt, reject := d.refine(antennas, c)
-		if reject != "" {
-			d.Trace.OnDetect(obs.DetectEvent{Window: c.window, Bin: c.bin, Reason: reject})
+	for i, c := range cands {
+		r := results[i]
+		if r.reject != "" {
+			d.Trace.OnDetect(obs.DetectEvent{Window: c.window, Bin: c.bin, Reason: r.reject})
 			continue
 		}
+		pkt := r.pkt
 		pkt.CFOCycles += d.CFOBiasCycles
 		d.Trace.OnDetect(obs.DetectEvent{Window: c.window, Bin: c.bin, Accepted: true,
 			Start: pkt.Start, CFOCycles: pkt.CFOCycles})
@@ -96,6 +162,7 @@ func (d *Detector) Detect(antennas [][]complex128) []Packet {
 
 // scanPreambles is step 1: windows of one symbol slide over the trace;
 // a peak persisting across MinRun consecutive windows marks a preamble.
+// The scan is a sequential run-tracking pass and stays single-threaded.
 func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 	n := d.p.N()
 	sym := d.p.SymbolSamples()
@@ -103,6 +170,9 @@ func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 	y := make([]float64, n)
 	buf := make([]complex128, n)
 	acc := make([]float64, n)
+	if d.scanMed == nil {
+		d.scanMed = make([]float64, n)
+	}
 
 	type runState struct {
 		count   int
@@ -127,7 +197,7 @@ func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 		// stronger collider.
 		sel := d.MinPeakHeight
 		if sel == 0 {
-			sel = 6 * stats.Median(acc)
+			sel = 6 * stats.MedianScratch(acc, d.scanMed)
 		}
 		ps := peaks.Find(acc, sel, d.MaxPeaksPerWindow)
 
@@ -161,10 +231,13 @@ func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 }
 
 // refine runs steps 2–4 for one candidate and returns the packet estimate;
-// a non-empty reject reason means the candidate was discarded.
-func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, string) {
+// a non-empty reject reason means the candidate was discarded. It touches
+// only the read-shared trace and its own scratch, so candidates refine
+// concurrently.
+func (d *Detector) refine(antennas [][]complex128, c candidate, rs *refineScratch) (Packet, string) {
 	n := d.p.N()
 	sym := d.p.SymbolSamples()
+	acc := rs.acc
 
 	// Locate the downchirp: windows shortly after the run completion
 	// should contain the 2.25 downchirps (the run completes MinRun
@@ -176,11 +249,13 @@ func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, string)
 		if int(start)+sym >= len(antennas[0]) {
 			break
 		}
-		acc := make([]float64, n)
+		for i := range acc {
+			acc[i] = 0
+		}
 		for _, ant := range antennas {
-			y := d.demod.DownSignalVector(ant, start, 0, 0)
-			for i := range y {
-				acc[i] += y[i]
+			d.demod.DownSignalVectorInto(rs.y, rs.buf, ant, start, 0, 0)
+			for i := range acc {
+				acc[i] += rs.y[i]
 			}
 		}
 		bi := peaks.HighestBin(acc)
@@ -224,10 +299,10 @@ func (d *Detector) refine(antennas [][]complex128, c candidate) (Packet, string)
 		if s < -float64(sym) {
 			continue
 		}
-		if _, ok := d.validatePreamble(antennas, s, cfo); !ok {
+		if _, ok := d.validatePreamble(antennas, s, cfo, rs); !ok {
 			continue
 		}
-		ft, fc, q := d.fractionalSearch(antennas, s, cfo)
+		ft, fc, q := d.fractionalSearch(antennas, s, cfo, rs)
 		if !found || q > best.Quality {
 			best = Packet{Start: s + ft, CFOCycles: cfo + fc, Quality: q}
 			found = true
@@ -265,9 +340,9 @@ func (d *Detector) resolveAmbiguity(cfo, delta float64) (float64, float64) {
 // validatePreamble checks that a hypothesized start time produces upchirp
 // peaks at the expected location in most preamble symbols and a downchirp
 // peak at the matching location, returning the total peak energy.
-func (d *Detector) validatePreamble(antennas [][]complex128, start, cfo float64) (float64, bool) {
-	n := d.p.N()
+func (d *Detector) validatePreamble(antennas [][]complex128, start, cfo float64, rs *refineScratch) (float64, bool) {
 	sym := d.p.SymbolSamples()
+	acc := rs.acc
 	hits, total := 0, 0
 	var energy float64
 	for k := 0; k < lora.PreambleUpchirps; k++ {
@@ -276,14 +351,16 @@ func (d *Detector) validatePreamble(antennas [][]complex128, start, cfo float64)
 			continue
 		}
 		total++
-		acc := make([]float64, n)
+		for i := range acc {
+			acc[i] = 0
+		}
 		for _, ant := range antennas {
-			y := d.demod.SignalVector(ant, s, cfo, k)
-			for i := range y {
-				acc[i] += y[i]
+			d.demod.SignalVectorInto(rs.y, rs.buf, ant, s, cfo, k)
+			for i := range acc {
+				acc[i] += rs.y[i]
 			}
 		}
-		if e, ok := peakNearZero(acc); ok {
+		if e, ok := peakNearZero(acc, rs.med); ok {
 			hits++
 			energy += e
 		}
@@ -294,14 +371,16 @@ func (d *Detector) validatePreamble(antennas [][]complex128, start, cfo float64)
 	// Downchirp check at start + 10T.
 	s := start + float64(10*sym)
 	if int(s)+sym < len(antennas[0]) && s >= 0 {
-		acc := make([]float64, n)
+		for i := range acc {
+			acc[i] = 0
+		}
 		for _, ant := range antennas {
-			y := d.demod.DownSignalVector(ant, s, cfo, 10)
-			for i := range y {
-				acc[i] += y[i]
+			d.demod.DownSignalVectorInto(rs.y, rs.buf, ant, s, cfo, 10)
+			for i := range acc {
+				acc[i] += rs.y[i]
 			}
 		}
-		e, ok := peakNearZero(acc)
+		e, ok := peakNearZero(acc, rs.med)
 		if !ok {
 			return 0, false
 		}
@@ -313,8 +392,8 @@ func (d *Detector) validatePreamble(antennas [][]complex128, start, cfo float64)
 // peakNearZero checks for a substantial peak within ±2 bins of bin 0. A
 // stronger collider may own the global maximum of a preamble window, so the
 // test is local: the neighborhood value must stand well above the noise
-// floor (median bin).
-func peakNearZero(acc []float64) (float64, bool) {
+// floor (median bin, read without copying via the caller's scratch).
+func peakNearZero(acc, med []float64) (float64, bool) {
 	n := len(acc)
 	best := 0.0
 	for db := -2; db <= 2; db++ {
@@ -322,7 +401,7 @@ func peakNearZero(acc []float64) (float64, bool) {
 			best = v
 		}
 	}
-	floor := stats.Median(acc)
+	floor := stats.MedianScratch(acc, med)
 	if floor <= 0 {
 		return best, best > 0
 	}

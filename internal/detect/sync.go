@@ -1,7 +1,6 @@
 package detect
 
 import (
-	"tnb/internal/dsp"
 	"tnb/internal/lora"
 )
 
@@ -22,12 +21,18 @@ type qResult struct {
 // evalQ computes Q at the hypothesis (start+δt, cfo+δf): the complex signal
 // vectors of the 8 preamble upchirps are summed coherently (phase-continuous
 // CFO correction) and likewise the 2 full downchirps; Q is the summed peak
-// energy of both.
-func (d *Detector) evalQ(antennas [][]complex128, start, cfo, dt, df float64) qResult {
-	n := d.p.N()
+// energy of both. The sums and the per-antenna spectrum live in the worker's
+// scratch — evalQ runs hundreds of times per candidate, so it must not
+// allocate.
+func (d *Detector) evalQ(antennas [][]complex128, start, cfo, dt, df float64, rs *refineScratch) qResult {
 	sym := d.p.SymbolSamples()
-	upSum := make([]complex128, n)
-	downSum := make([]complex128, n)
+	upSum, downSum := rs.upSum, rs.downSum
+	for i := range upSum {
+		upSum[i] = 0
+	}
+	for i := range downSum {
+		downSum[i] = 0
+	}
 	s0 := start + dt
 	c := cfo + df
 	for k := 0; k < lora.PreambleUpchirps; k++ {
@@ -36,9 +41,9 @@ func (d *Detector) evalQ(antennas [][]complex128, start, cfo, dt, df float64) qR
 			continue
 		}
 		for _, ant := range antennas {
-			v := d.demod.ComplexSignalVector(ant, s, c, k)
+			d.demod.ComplexSignalVectorInto(rs.buf, ant, s, c, k)
 			for i := range upSum {
-				upSum[i] += v[i]
+				upSum[i] += rs.buf[i]
 			}
 		}
 	}
@@ -48,22 +53,15 @@ func (d *Detector) evalQ(antennas [][]complex128, start, cfo, dt, df float64) qR
 			continue
 		}
 		for _, ant := range antennas {
-			v := d.complexDownVector(ant, s, c, 10+k)
+			d.demod.ComplexDownVectorInto(rs.buf, ant, s, c, 10+k)
 			for i := range downSum {
-				downSum[i] += v[i]
+				downSum[i] += rs.buf[i]
 			}
 		}
 	}
 	ub, ue := maxEnergy(upSum)
 	db, de := maxEnergy(downSum)
 	return qResult{energy: ue + de, upBin: ub, downBin: db}
-}
-
-func (d *Detector) complexDownVector(rx []complex128, s, c float64, symIdx int) []complex128 {
-	buf := make([]complex128, d.p.N())
-	d.demod.DechirpDownInto(buf, rx, s, c, symIdx)
-	dsp.MustPlan(len(buf)).Forward(buf)
-	return buf
 }
 
 // maxEnergy returns the bin and squared magnitude of the strongest element.
@@ -93,12 +91,12 @@ func (d *Detector) qStar(r qResult) float64 {
 // fractionalSearch runs the paper's 3-phase search and returns the
 // fractional timing (receiver samples), fractional CFO (cycles/symbol) and
 // the final Q energy.
-func (d *Detector) fractionalSearch(antennas [][]complex128, start, cfo float64) (dt, df, q float64) {
+func (d *Detector) fractionalSearch(antennas [][]complex128, start, cfo float64, rs *refineScratch) (dt, df, q float64) {
 	// Phase 1: δt = 0, δf from −1 to 0 in steps of 1/16; maximize Q.
 	bestF, bestQ := 0.0, -1.0
 	for i := 0; i <= 16; i++ {
 		f := -1 + float64(i)/16
-		r := d.evalQ(antennas, start, cfo, 0, f)
+		r := d.evalQ(antennas, start, cfo, 0, f, rs)
 		if r.energy > bestQ {
 			bestQ, bestF = r.energy, f
 		}
@@ -114,7 +112,7 @@ func (d *Detector) fractionalSearch(antennas [][]complex128, start, cfo float64)
 		steps := int(4*halfChip) + 3
 		for i := 0; i < steps; i++ {
 			t := -halfChip - 0.5 + float64(i)/2
-			r := d.evalQ(antennas, start, cfo, t, f)
+			r := d.evalQ(antennas, start, cfo, t, f, rs)
 			if qs := d.qStar(r); qs > bestQS {
 				bestQS, bestT, bestF2 = qs, t, f
 			}
@@ -131,7 +129,7 @@ func (d *Detector) fractionalSearch(antennas [][]complex128, start, cfo float64)
 	finalT, finalQ := bestT, -1.0
 	for i := 0; i <= u; i++ {
 		t := bestT - 0.5 + float64(i)/float64(u)
-		r := d.evalQ(antennas, start, cfo, t, bestF2)
+		r := d.evalQ(antennas, start, cfo, t, bestF2, rs)
 		if qs := d.qStar(r); qs > finalQ {
 			finalQ, finalT = qs, t
 		}

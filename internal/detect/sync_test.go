@@ -28,7 +28,7 @@ func qSurfaceSetup(t *testing.T) (*Detector, [][]complex128, float64, float64) {
 func TestQPeaksAtTrueParameters(t *testing.T) {
 	d, ants, start, cfo := qSurfaceSetup(t)
 	at := func(dt, df float64) float64 {
-		return d.evalQ(ants, start, cfo, dt, df).energy
+		return d.evalQ(ants, start, cfo, dt, df, d.newRefineScratch()).energy
 	}
 	center := at(0, 0)
 	// Fractional CFO errors collapse Q (Fig. 8 top: sharp ridges).
@@ -49,8 +49,8 @@ func TestQIntegerCFOAliasHasEqualEnergyButShiftedPeaks(t *testing.T) {
 	// inter-symbol coherence) but moves the peaks off bin 0 — exactly why
 	// Q* gates on the peak location.
 	d, ants, start, cfo := qSurfaceSetup(t)
-	center := d.evalQ(ants, start, cfo, 0, 0)
-	alias := d.evalQ(ants, start, cfo, 0, 1)
+	center := d.evalQ(ants, start, cfo, 0, 0, d.newRefineScratch())
+	alias := d.evalQ(ants, start, cfo, 0, 1, d.newRefineScratch())
 	if alias.energy < 0.9*center.energy {
 		t.Errorf("alias energy %g vs center %g: expected near-equal", alias.energy, center.energy)
 	}
@@ -75,7 +75,7 @@ func TestQTimingCFOTradeoffBreaksOnDownchirps(t *testing.T) {
 	// the coarse estimate identifiable.
 	d, ants, start, cfo := qSurfaceSetup(t)
 	p := lora.MustParams(8, 4, 125e3, 8)
-	r := d.evalQ(ants, start+float64(p.OSF), cfo, 0, 1)
+	r := d.evalQ(ants, start+float64(p.OSF), cfo, 0, 1, d.newRefineScratch())
 	if r.upBin != 0 {
 		t.Fatalf("compensated up peak at %d, want 0", r.upBin)
 	}
@@ -95,7 +95,7 @@ func TestFractionalSearchConvergesFromCoarseOffsets(t *testing.T) {
 		{0, 0}, {3.5, 0.4}, {-3.5, -0.4}, {2, -0.9}, {-2, 0.9},
 	}
 	for _, c := range cases {
-		ft, fc, q := d.fractionalSearch(ants, start+c.dt, cfo+c.df)
+		ft, fc, q := d.fractionalSearch(ants, start+c.dt, cfo+c.df, d.newRefineScratch())
 		if q <= 0 {
 			t.Fatalf("offset (%g, %g): search found nothing", c.dt, c.df)
 		}

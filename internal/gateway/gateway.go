@@ -93,6 +93,11 @@ type Server struct {
 	// set "trace" in the hello get per-report summaries even without a
 	// server tracer.
 	Tracer *obs.Tracer
+	// Workers is the per-connection receiver pool width
+	// (core.Config.Workers semantics: 0 → GOMAXPROCS, 1 → serial). A
+	// gateway serving many concurrent connections may prefer 1 so each
+	// connection stays on one core.
+	Workers int
 
 	mu sync.Mutex
 	ln net.Listener
@@ -207,7 +212,7 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 	}
 
 	st, err := stream.New(stream.Config{
-		Receiver: core.Config{Params: params, UseBEC: useBEC, Metrics: pmet, Tracer: tracer},
+		Receiver: core.Config{Params: params, UseBEC: useBEC, Workers: s.Workers, Metrics: pmet, Tracer: tracer},
 		Metrics:  smet,
 	})
 	if err != nil {

@@ -160,9 +160,23 @@ func (d *Demodulator) DechirpDownInto(buf []complex128, rx []complex128, start f
 // used by the synchronization search.
 func (d *Demodulator) ComplexSignalVector(rx []complex128, start float64, cfoCycles float64, symIndex int) []complex128 {
 	buf := d.newBuf()
+	d.ComplexSignalVectorInto(buf, rx, start, cfoCycles, symIndex)
+	return buf
+}
+
+// ComplexSignalVectorInto computes FFT(rx_symbol ⊙ C') into buf (length N),
+// the no-copy form the fractional synchronization search runs per
+// hypothesis.
+func (d *Demodulator) ComplexSignalVectorInto(buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
 	d.DechirpInto(buf, rx, start, cfoCycles, symIndex)
 	d.plan.Forward(buf)
-	return buf
+}
+
+// ComplexDownVectorInto computes FFT(rx_symbol ⊙ C) into buf (length N),
+// the downchirp counterpart of ComplexSignalVectorInto.
+func (d *Demodulator) ComplexDownVectorInto(buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
+	d.DechirpDownInto(buf, rx, start, cfoCycles, symIndex)
+	d.plan.Forward(buf)
 }
 
 // SignalVectorInto computes the signal vector Y = |FFT(symbol ⊙ C')|² into
@@ -180,13 +194,19 @@ func (d *Demodulator) SignalVector(rx []complex128, start float64, cfoCycles flo
 	return y
 }
 
-// DownSignalVector computes |FFT(symbol ⊙ C)|², peaking for downchirps.
-func (d *Demodulator) DownSignalVector(rx []complex128, start float64, cfoCycles float64, symIndex int) []float64 {
-	buf := d.newBuf()
+// DownSignalVectorInto computes |FFT(symbol ⊙ C)|² into y (length N),
+// reusing buf (length N) as scratch — the downchirp counterpart of
+// SignalVectorInto, used by the detector's hot path.
+func (d *Demodulator) DownSignalVectorInto(y []float64, buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
 	d.DechirpDownInto(buf, rx, start, cfoCycles, symIndex)
 	d.plan.Forward(buf)
-	y := make([]float64, d.p.N())
 	dsp.MagSq(y, buf)
+}
+
+// DownSignalVector computes |FFT(symbol ⊙ C)|², peaking for downchirps.
+func (d *Demodulator) DownSignalVector(rx []complex128, start float64, cfoCycles float64, symIndex int) []float64 {
+	y := make([]float64, d.p.N())
+	d.DownSignalVectorInto(y, d.newBuf(), rx, start, cfoCycles, symIndex)
 	return y
 }
 

@@ -271,3 +271,35 @@ func BenchmarkSignalVectorSF8(b *testing.B) {
 		d.SignalVectorInto(y, buf, sig, 0.25, 0.3, i&7)
 	}
 }
+
+func TestIntoVariantsMatchAllocatingForms(t *testing.T) {
+	p := MustParams(8, 4, 125e3, 8)
+	d := NewDemodulator(p)
+	rng := rand.New(rand.NewSource(5))
+	rx := make([]complex128, 3*p.SymbolSamples())
+	for i := range rx {
+		rx[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	n := p.N()
+	y := make([]float64, n)
+	cbuf := make([]complex128, n)
+	for _, cfo := range []float64{0, -2.25} {
+		start, symIdx := 17.5, 3
+
+		want := d.DownSignalVector(rx, start, cfo, symIdx)
+		d.DownSignalVectorInto(y, cbuf, rx, start, cfo, symIdx)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("cfo=%g: DownSignalVectorInto[%d] = %v, want %v", cfo, i, y[i], want[i])
+			}
+		}
+
+		wantC := d.ComplexSignalVector(rx, start, cfo, symIdx)
+		d.ComplexSignalVectorInto(cbuf, rx, start, cfo, symIdx)
+		for i := range cbuf {
+			if cbuf[i] != wantC[i] {
+				t.Fatalf("cfo=%g: ComplexSignalVectorInto[%d] = %v, want %v", cfo, i, cbuf[i], wantC[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package parallel provides the small deterministic worker-pool primitive
+// shared by the receiver pipeline: a bounded fan-out over an index range
+// where every item writes its result into an index-addressed slot, so the
+// output is independent of goroutine scheduling. The receiver's parallel
+// joints (candidate refinement, per-packet signal-vector prefill, per-packet
+// decoding) all follow the same shape: compute in any order, merge in index
+// order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers resolves a configured worker count: n <= 0 selects GOMAXPROCS,
+// anything else is returned as-is. Callers typically clamp to the item count
+// via ForEach itself.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Stats reports one ForEach region: the wall-clock span, the summed busy
+// time across workers, and the worker count actually used. Speedup is
+// Busy/Wall (1.0 when serial); utilization is Busy/(Wall·Workers).
+type Stats struct {
+	Wall    time.Duration
+	Busy    time.Duration
+	Workers int
+}
+
+// SpeedupPermille returns the effective parallel speedup ×1000 (Busy/Wall),
+// the integer form the metrics gauges store.
+func (s Stats) SpeedupPermille() int64 {
+	if s.Wall <= 0 {
+		return 1000
+	}
+	return int64(1000 * float64(s.Busy) / float64(s.Wall))
+}
+
+// UtilizationPermille returns busy/(wall·workers) ×1000 — how much of the
+// pool's capacity the region kept busy.
+func (s Stats) UtilizationPermille() int64 {
+	if s.Wall <= 0 || s.Workers <= 0 {
+		return 1000
+	}
+	return int64(1000 * float64(s.Busy) / (float64(s.Wall) * float64(s.Workers)))
+}
+
+// ForEach runs fn(worker, i) for every i in [0, n) on up to workers
+// goroutines (after Workers() resolution and clamping to n). Items are
+// handed out dynamically (an atomic cursor), so uneven item costs balance;
+// the worker id passed to fn is stable per goroutine and in [0, workers),
+// letting callers maintain per-worker scratch. With workers <= 1 (or n <= 1)
+// everything runs inline on the calling goroutine with worker id 0 — the
+// serial path allocates nothing and spawns nothing.
+//
+// fn must not assume any ordering between items; determinism comes from
+// writing results to index-addressed slots.
+func ForEach(workers, n int, fn func(worker, i int)) Stats {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		wall := time.Since(t0)
+		return Stats{Wall: wall, Busy: wall, Workers: 1}
+	}
+
+	t0 := time.Now()
+	var cursor atomic.Int64
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(w, i)
+			}
+			busy[w] = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	st := Stats{Wall: time.Since(t0), Workers: workers}
+	for _, b := range busy {
+		st.Busy += b
+	}
+	return st
+}

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		st := ForEach(workers, n, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+		want := workers
+		if want > n {
+			want = n
+		}
+		if st.Workers != want {
+			t.Fatalf("workers=%d: Stats.Workers = %d, want %d", workers, st.Workers, want)
+		}
+	}
+}
+
+func TestForEachWorkerIDsBounded(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int32
+	ForEach(workers, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker id out of [0, workers)")
+	}
+}
+
+func TestForEachClampsToN(t *testing.T) {
+	st := ForEach(16, 3, func(w, _ int) {
+		if w > 2 {
+			t.Errorf("worker id %d with only 3 items", w)
+		}
+	})
+	if st.Workers > 3 {
+		t.Fatalf("Stats.Workers = %d, want <= 3", st.Workers)
+	}
+}
+
+func TestForEachDeterministicResults(t *testing.T) {
+	const n = 512
+	ref := make([]int, n)
+	ForEach(1, n, func(_, i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 5, 8} {
+		got := make([]int, n)
+		ForEach(workers, n, func(_, i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(_, _ int) { called = true })
+	if called {
+		t.Fatal("fn called with n=0")
+	}
+}
+
+func TestStatsPermille(t *testing.T) {
+	s := Stats{Wall: 100, Busy: 350, Workers: 4}
+	if got := s.SpeedupPermille(); got != 3500 {
+		t.Fatalf("SpeedupPermille = %d", got)
+	}
+	if got := s.UtilizationPermille(); got != 875 {
+		t.Fatalf("UtilizationPermille = %d", got)
+	}
+	var zero Stats
+	if zero.SpeedupPermille() != 1000 || zero.UtilizationPermille() != 1000 {
+		t.Fatal("zero Stats should report neutral 1000 permille")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"tnb/internal/lora"
+	"tnb/internal/parallel"
 )
 
 // Calculator computes and caches the signal vectors of one detected packet:
@@ -11,6 +12,13 @@ import (
 // estimated boundary and corrected by its estimated CFO, summed over
 // antennas (paper §3–§4). Negative symbol indices address the preamble
 // upchirps, used to bootstrap Thrive's peak-height history.
+//
+// The cache is a dense slice indexed by idx + preambleOffset over one
+// contiguous arena, so a fully materialized packet costs two allocations
+// instead of one map entry plus one vector per symbol. Vectors are computed
+// lazily by SigVec — which mutates the shared scratch and is therefore
+// single-goroutine — or all at once by Prefill, after which every accessor
+// is a pure read and safe for concurrent readers.
 type Calculator struct {
 	demod     *lora.Demodulator
 	antennas  [][]complex128
@@ -18,10 +26,19 @@ type Calculator struct {
 	cfoCycles float64
 	numData   int
 	dataOff   float64 // rx samples from packet start to first data symbol
-	cache     map[int][]float64
-	buf       []complex128
-	scratch   []float64
+
+	// vecs[idx+preambleOffset] is the signal vector of symbol idx, nil
+	// until computed; every non-nil entry aliases arena.
+	vecs  [][]float64
+	arena []float64
+
+	buf     []complex128
+	scratch []float64
 }
+
+// preambleOffset is the number of negative (preamble + sync) symbol indices
+// addressable below data symbol 0.
+const preambleOffset = lora.PreambleUpchirps + lora.SyncSymbols
 
 // NewCalculator builds a signal-vector calculator for a packet detected at
 // the (fractional) rx-sample position start with the given CFO in cycles
@@ -30,6 +47,8 @@ func NewCalculator(d *lora.Demodulator, antennas [][]complex128, start, cfoCycle
 	p := d.Params()
 	dataOff := (lora.PreambleUpchirps + lora.SyncSymbols + float64(lora.DownchirpQuarters)/4) *
 		float64(p.SymbolSamples())
+	n := p.N()
+	slots := numData + preambleOffset
 	return &Calculator{
 		demod:     d,
 		antennas:  antennas,
@@ -37,9 +56,10 @@ func NewCalculator(d *lora.Demodulator, antennas [][]complex128, start, cfoCycle
 		cfoCycles: cfoCycles,
 		numData:   numData,
 		dataOff:   dataOff,
-		cache:     make(map[int][]float64),
-		buf:       make([]complex128, p.N()),
-		scratch:   make([]float64, p.N()),
+		vecs:      make([][]float64, slots),
+		arena:     make([]float64, slots*n),
+		buf:       make([]complex128, n),
+		scratch:   make([]float64, n),
 	}
 }
 
@@ -79,35 +99,100 @@ func (c *Calculator) Alpha() float64 {
 // InRange reports whether data symbol idx exists (preamble indices are
 // valid down to -PreambleUpchirps).
 func (c *Calculator) InRange(idx int) bool {
-	return idx >= -(lora.PreambleUpchirps+lora.SyncSymbols) && idx < c.numData
+	return idx >= -preambleOffset && idx < c.numData
 }
 
-// SigVec returns the cached signal vector of data symbol idx. For preamble
-// indices the downchirp section is skipped: idx -1 is the second sync
-// symbol, and so on backwards.
-func (c *Calculator) SigVec(idx int) []float64 {
-	if y, ok := c.cache[idx]; ok {
-		return y
+// symStart returns the rx-sample position of symbol idx, skipping the 2.25
+// downchirps for preamble indices: idx -1 is the second sync symbol, and so
+// on backwards.
+func (c *Calculator) symStart(idx int) float64 {
+	if idx >= 0 {
+		return c.SymbolStart(idx)
 	}
 	p := c.demod.Params()
-	y := make([]float64, p.N())
-	var start float64
-	if idx >= 0 {
-		start = c.SymbolStart(idx)
-	} else {
-		// Preamble upchirps and sync symbols lie before the 2.25
-		// downchirps.
-		start = c.start + float64((lora.PreambleUpchirps+lora.SyncSymbols+idx)*p.SymbolSamples())
+	return c.start + float64((preambleOffset+idx)*p.SymbolSamples())
+}
+
+// computeInto fills y (an arena slot) with symbol idx's signal vector,
+// using the caller's scratch so concurrent prefill workers don't collide.
+func (c *Calculator) computeInto(y []float64, buf []complex128, scratch []float64, idx int) {
+	for i := range y {
+		y[i] = 0
 	}
-	symIndexForPhase := idx
+	start := c.symStart(idx)
 	for _, ant := range c.antennas {
-		c.demod.SignalVectorInto(c.scratch, c.buf, ant, start, c.cfoCycles, symIndexForPhase)
+		c.demod.SignalVectorInto(scratch, buf, ant, start, c.cfoCycles, idx)
 		for i := range y {
-			y[i] += c.scratch[i]
+			y[i] += scratch[i]
 		}
 	}
-	c.cache[idx] = y
+}
+
+// slot returns the arena-backed storage of symbol idx.
+func (c *Calculator) slot(idx int) []float64 {
+	n := c.demod.Params().N()
+	s := idx + preambleOffset
+	return c.arena[s*n : (s+1)*n : (s+1)*n]
+}
+
+// SigVec returns the cached signal vector of data symbol idx, computing it
+// on first use. Lazy computation mutates the calculator's shared scratch:
+// callers that read concurrently must Prefill first (or PrefillPreamble for
+// preamble-only readers), after which cached reads are pure.
+func (c *Calculator) SigVec(idx int) []float64 {
+	if y := c.vecs[idx+preambleOffset]; y != nil {
+		return y
+	}
+	y := c.slot(idx)
+	c.computeInto(y, c.buf, c.scratch, idx)
+	c.vecs[idx+preambleOffset] = y
 	return y
+}
+
+// Prefill computes every signal vector (preamble and data) that is not yet
+// cached, fanning out across workers (parallel.Workers semantics; <= 1 runs
+// inline). Each worker gets its own scratch, so prefilled calculators are
+// safe for any number of concurrent SigVec/ValueAt readers afterwards.
+func (c *Calculator) Prefill(workers int) {
+	var missing []int
+	for s, y := range c.vecs {
+		if y == nil {
+			missing = append(missing, s-preambleOffset)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	n := c.demod.Params().N()
+	workers = parallel.Workers(workers)
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	type ws struct {
+		buf     []complex128
+		scratch []float64
+	}
+	scratches := make([]ws, workers)
+	scratches[0] = ws{buf: c.buf, scratch: c.scratch}
+	for w := 1; w < workers; w++ {
+		scratches[w] = ws{buf: make([]complex128, n), scratch: make([]float64, n)}
+	}
+	parallel.ForEach(workers, len(missing), func(w, i int) {
+		idx := missing[i]
+		y := c.slot(idx)
+		c.computeInto(y, scratches[w].buf, scratches[w].scratch, idx)
+		c.vecs[idx+preambleOffset] = y
+	})
+}
+
+// PrefillPreamble computes only the preamble and sync signal vectors — the
+// slice the history bootstrap and SNR estimate read. Known packets in the
+// second decoding pass need nothing else, so skipping the data symbols
+// avoids recomputing vectors whose peaks are masked, not read.
+func (c *Calculator) PrefillPreamble() {
+	for idx := -preambleOffset; idx < 0; idx++ {
+		c.SigVec(idx)
+	}
 }
 
 // ValueAt returns the signal vector value of symbol idx at (rounded,
@@ -134,7 +219,7 @@ func wrapBin(pos float64, n int) int {
 func (c *Calculator) PreamblePeakHeights() []float64 {
 	hs := make([]float64, 0, lora.PreambleUpchirps)
 	for k := 0; k < lora.PreambleUpchirps; k++ {
-		idx := k - (lora.PreambleUpchirps + lora.SyncSymbols)
+		idx := k - preambleOffset
 		y := c.SigVec(idx)
 		_, m := maxOf(y)
 		hs = append(hs, m)

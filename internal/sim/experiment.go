@@ -24,6 +24,16 @@ var tracer *obs.Tracer
 // figure runs; not safe to change mid-run.
 func SetTracer(t *obs.Tracer) { tracer = t }
 
+// workers is the per-receiver worker-pool width handed to every TnB-family
+// receiver runScheme builds (core.Config.Workers semantics: 0 → GOMAXPROCS,
+// 1 → serial). Figure runs already fan out across runs and loads, so CLI
+// users typically set 1 here and let ParallelRuns own the cores.
+var workers int
+
+// SetWorkers installs the process-wide per-receiver pool width. Call before
+// the figure runs; not safe to change mid-run.
+func SetWorkers(n int) { workers = n }
+
 // Scheme identifies one decoder under test (paper §8.2, §8.4, §8.5).
 type Scheme int
 
@@ -190,7 +200,7 @@ func runScheme(s Scheme, gt *GroundTruth, cfg Config) []decodedPacket {
 		// simulations share the live gateway's metrics schema (dumped by
 		// tnbsim -metrics-out). Atomic counters: safe under ParallelRuns.
 		rc := core.Config{Params: p, UseBEC: true, Seed: cfg.Seed,
-			Metrics: core.DefaultPipelineMetrics(), Tracer: tracer}
+			Workers: workers, Metrics: core.DefaultPipelineMetrics(), Tracer: tracer}
 		switch s {
 		case SchemeThrive:
 			rc.UseBEC = false

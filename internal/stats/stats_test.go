@@ -209,3 +209,87 @@ func TestHistogram(t *testing.T) {
 		t.Error("zero bins should return nil")
 	}
 }
+
+func TestMedianInPlaceMatchesMedianExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(300)
+		x := make([]float64, n)
+		for i := range x {
+			switch rng.Intn(10) {
+			case 0:
+				x[i] = 0
+			case 1:
+				x[i] = x[max(0, i-1)] // duplicates
+			default:
+				x[i] = rng.ExpFloat64() * 1e3
+			}
+		}
+		want := Median(x)
+		cp := append([]float64(nil), x...)
+		got := MedianInPlace(cp)
+		if got != want { // bit-exact, not approximate: hot paths swap this in
+			t.Fatalf("n=%d: MedianInPlace = %v, Median = %v", n, got, want)
+		}
+		if gotS := MedianScratch(x, make([]float64, 0, n)); gotS != want {
+			t.Fatalf("n=%d: MedianScratch = %v, Median = %v", n, gotS, want)
+		}
+	}
+}
+
+func TestMedianScratchDoesNotModifyInput(t *testing.T) {
+	x := []float64{5, 1, 4, 2, 3}
+	scratch := make([]float64, 5)
+	if got := MedianScratch(x, scratch); got != 3 {
+		t.Fatalf("MedianScratch = %v", got)
+	}
+	if x[0] != 5 || x[1] != 1 || x[4] != 3 {
+		t.Fatal("MedianScratch modified its input")
+	}
+	// Undersized scratch still works (allocates internally).
+	if got := MedianScratch(x, nil); got != 3 {
+		t.Fatalf("MedianScratch(nil scratch) = %v", got)
+	}
+}
+
+func TestMedianInPlaceSortedAndReversed(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 12, 13, 100, 101} {
+		asc := make([]float64, n)
+		for i := range asc {
+			asc[i] = float64(i)
+		}
+		desc := make([]float64, n)
+		for i := range desc {
+			desc[i] = float64(n - i)
+		}
+		wantAsc := Median(asc)
+		wantDesc := Median(desc)
+		if got := MedianInPlace(append([]float64(nil), asc...)); got != wantAsc {
+			t.Fatalf("sorted n=%d: got %v want %v", n, got, wantAsc)
+		}
+		if got := MedianInPlace(append([]float64(nil), desc...)); got != wantDesc {
+			t.Fatalf("reversed n=%d: got %v want %v", n, got, wantDesc)
+		}
+	}
+}
+
+func BenchmarkMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.ExpFloat64()
+	}
+	b.Run("copy-sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Median(x)
+		}
+	})
+	scratch := make([]float64, 256)
+	b.Run("scratch-select", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MedianScratch(x, scratch)
+		}
+	})
+}

