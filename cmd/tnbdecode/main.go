@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"sort"
 
 	"tnb/internal/core"
@@ -41,11 +42,24 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
 		explain  = flag.Int("explain", -2, "print the decode trace of packet N (start order, decoded and failed); -1 lists all packets")
 		workers  = flag.Int("workers", 0, "receiver worker-pool width (0 = all cores, 1 = serial); output is identical for every value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the decode to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tnbdecode [flags] <trace.iq>")
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		// LIFO: stop (which flushes) must run before the file closes.
+		defer pf.Close()
+		defer pprof.StopCPUProfile()
 	}
 
 	f, err := os.Open(flag.Arg(0))

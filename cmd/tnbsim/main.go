@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 
 	"tnb/internal/metrics"
 	"tnb/internal/obs"
@@ -34,9 +35,22 @@ func main() {
 		metaOut  = flag.String("metrics-out", "", "write the pipeline metrics registry as JSON to this file (same schema as the gateway's /metrics.json)")
 		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file (TnB-family schemes only)")
 		workers  = flag.Int("workers", 1, "receiver worker-pool width per decode (0 = all cores, 1 = serial); output is identical for every value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 	sim.SetWorkers(*workers)
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		// LIFO: stop (which flushes) must run before the file closes.
+		defer pf.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	var traceFile *os.File
 	if *traceOut != "" {

@@ -31,9 +31,11 @@ type PipelineMetrics struct {
 	// (busy/wall, 1000 = serial) plus pool utilization (busy/(wall·workers),
 	// 1000 = every worker busy the whole stage), from the latest fan-out.
 	PoolWorkers        *metrics.Gauge
+	ScanSpeedup        *metrics.Gauge // detect: per-window preamble scan
 	RefineSpeedup      *metrics.Gauge // detect: candidate refinement
 	SigCalcSpeedup     *metrics.Gauge // calculator prefill + state build
 	DecodeSpeedup      *metrics.Gauge // BEC/Hamming decode fan-out
+	ScanUtilization    *metrics.Gauge
 	RefineUtilization  *metrics.Gauge
 	SigCalcUtilization *metrics.Gauge
 	DecodeUtilization  *metrics.Gauge
@@ -57,6 +59,8 @@ func NewPipelineMetrics(reg *metrics.Registry) *PipelineMetrics {
 		Windows:          reg.Counter("tnb_receiver_windows_total"),
 
 		PoolWorkers:        reg.Gauge("tnb_parallel_workers"),
+		ScanSpeedup:        reg.Gauge(`tnb_parallel_speedup_permille{stage="scan"}`),
+		ScanUtilization:    reg.Gauge(`tnb_parallel_utilization_permille{stage="scan"}`),
 		RefineSpeedup:      reg.Gauge(`tnb_parallel_speedup_permille{stage="refine"}`),
 		SigCalcSpeedup:     reg.Gauge(`tnb_parallel_speedup_permille{stage="sigcalc"}`),
 		DecodeSpeedup:      reg.Gauge(`tnb_parallel_speedup_permille{stage="decode"}`),
@@ -149,6 +153,13 @@ func (m *PipelineMetrics) onPoolWorkers(n int) {
 }
 
 // The onStageParallel methods record one fan-out's speedup and utilization.
+
+func (m *PipelineMetrics) onScanParallel(st parallel.Stats) {
+	if m != nil {
+		m.ScanSpeedup.Set(st.SpeedupPermille())
+		m.ScanUtilization.Set(st.UtilizationPermille())
+	}
+}
 
 func (m *PipelineMetrics) onRefineParallel(st parallel.Stats) {
 	if m != nil {

@@ -113,6 +113,8 @@ func TestWorkerGaugesRecorded(t *testing.T) {
 		t.Errorf("PoolWorkers = %d, want 4", got)
 	}
 	for name, g := range map[string]*metrics.Gauge{
+		"scan speedup":        met.ScanSpeedup,
+		"scan utilization":    met.ScanUtilization,
 		"refine speedup":      met.RefineSpeedup,
 		"sigcalc speedup":     met.SigCalcSpeedup,
 		"decode speedup":      met.DecodeSpeedup,

@@ -150,6 +150,7 @@ func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
 	t0 := r.met.now()
 	pkts := r.detector.Detect(antennas)
 	r.met.observeDetect(t0)
+	r.met.onScanParallel(r.detector.ScanStats)
 	r.met.onRefineParallel(r.detector.RefineStats)
 	r.met.onDetected(len(pkts))
 	if len(pkts) == 0 {

@@ -45,13 +45,17 @@ type Detector struct {
 	// MinPeakHeight discards detection peaks below this height (absolute,
 	// in signal-vector units). Zero selects an adaptive threshold.
 	MinPeakHeight float64
-	// Workers caps the goroutines refining preamble candidates
-	// (0 → GOMAXPROCS, 1 → serial). Results are merged in candidate order,
-	// so the value never changes the output.
+	// Workers caps the goroutines used by the parallel detection stages —
+	// the per-window transform of the preamble scan and the candidate
+	// refinement (0 → GOMAXPROCS, 1 → serial). Both stages write into
+	// index-addressed slots and merge serially, so the value never changes
+	// the output.
 	Workers int
 	// RefineStats reports the last Detect call's refinement fan-out (wall
 	// and summed busy time); the receiver exports it as a speedup gauge.
 	RefineStats parallel.Stats
+	// ScanStats reports the last Detect call's per-window scan fan-out.
+	ScanStats parallel.Stats
 	// Trace, when non-nil, receives one event per preamble candidate:
 	// accepted with the refined estimates, or rejected with the reason.
 	Trace *obs.Tracer
@@ -61,7 +65,7 @@ type Detector struct {
 	// zero in production.
 	CFOBiasCycles float64
 
-	scanMed []float64 // median scratch for scanPreambles' selectivity
+	scanPeaks [][]peaks.Peak // per-window peak slots, reused across calls
 }
 
 // NewDetector builds a detector with the paper's defaults.
@@ -160,36 +164,67 @@ func (d *Detector) Detect(antennas [][]complex128) []Packet {
 	return pkts
 }
 
+// scanScratch is one scan worker's reusable buffers for the per-window
+// transform: the per-antenna signal vector, the dechirp/FFT buffer, the
+// summed accumulator and the median scratch of the adaptive selectivity.
+type scanScratch struct {
+	y   []float64
+	buf []complex128
+	acc []float64
+	med []float64
+}
+
+func (d *Detector) newScanScratch() *scanScratch {
+	n := d.p.N()
+	return &scanScratch{
+		y:   make([]float64, n),
+		buf: make([]complex128, n),
+		acc: make([]float64, n),
+		med: make([]float64, n),
+	}
+}
+
 // scanPreambles is step 1: windows of one symbol slide over the trace;
 // a peak persisting across MinRun consecutive windows marks a preamble.
-// The scan is a sequential run-tracking pass and stays single-threaded.
+//
+// The per-window work — dechirp + FFT per antenna, the median-based
+// selectivity and the peak search — touches only the read-shared trace and
+// per-worker scratch, so it fans out across Workers goroutines into
+// window-indexed slots. The run-tracking pass that strings peaks into
+// preamble candidates is inherently sequential (window g's runs extend
+// window g−1's) and walks the slots serially in window order, so the
+// candidate list is byte-identical at every pool width.
 func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 	n := d.p.N()
 	sym := d.p.SymbolSamples()
 	nwin := len(antennas[0]) / sym
-	y := make([]float64, n)
-	buf := make([]complex128, n)
-	acc := make([]float64, n)
-	if d.scanMed == nil {
-		d.scanMed = make([]float64, n)
+	if nwin == 0 {
+		return nil
 	}
 
-	type runState struct {
-		count   int
-		height  float64
-		emitted bool
+	if cap(d.scanPeaks) < nwin {
+		d.scanPeaks = make([][]peaks.Peak, nwin)
 	}
-	runs := map[int]*runState{}
-	var cands []candidate
-
-	for g := 0; g < nwin; g++ {
+	winPeaks := d.scanPeaks[:nwin]
+	maxWorkers := parallel.Workers(d.Workers)
+	if maxWorkers > nwin {
+		maxWorkers = nwin
+	}
+	scratches := make([]*scanScratch, maxWorkers)
+	d.ScanStats = parallel.ForEach(d.Workers, nwin, func(w, g int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = d.newScanScratch()
+			scratches[w] = sc
+		}
+		acc := sc.acc
 		for i := range acc {
 			acc[i] = 0
 		}
 		for _, ant := range antennas {
-			d.demod.SignalVectorInto(y, buf, ant, float64(g*sym), 0, 0)
+			d.demod.SignalVectorInto(sc.y, sc.buf, ant, float64(g*sym), 0, 0)
 			for i := range acc {
-				acc[i] += y[i]
+				acc[i] += sc.y[i]
 			}
 		}
 		// Selectivity tied to the noise floor (median bin) rather than the
@@ -197,35 +232,69 @@ func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 		// stronger collider.
 		sel := d.MinPeakHeight
 		if sel == 0 {
-			sel = 6 * stats.MedianScratch(acc, d.scanMed)
+			sel = 6 * stats.MedianScratch(acc, sc.med)
 		}
-		ps := peaks.Find(acc, sel, d.MaxPeaksPerWindow)
+		winPeaks[g] = peaks.Find(acc, sel, d.MaxPeaksPerWindow)
+	})
 
-		next := map[int]*runState{}
+	return d.trackRuns(winPeaks, n)
+}
+
+// runState is one bin's active run of consecutive-window peaks.
+type runState struct {
+	count   int
+	height  float64
+	emitted bool
+}
+
+// trackRuns strings the per-window peak lists into preamble candidates: a
+// peak within ±1 bin of a peak in the previous window extends that run, and
+// a run reaching MinRun windows emits a candidate once. The two generations
+// (previous and current window) live in slice-backed rings keyed by bin with
+// a window stamp marking live entries, so the tracking allocates nothing per
+// window — the stamp check replaces both the map lookups and the per-window
+// map churn.
+func (d *Detector) trackRuns(winPeaks [][]peaks.Peak, n int) []candidate {
+	prev, cur := make([]runState, n), make([]runState, n)
+	prevStamp, curStamp := make([]int32, n), make([]int32, n)
+	for i := range prevStamp {
+		prevStamp[i] = -1
+		curStamp[i] = -1
+	}
+
+	var cands []candidate
+	for g, ps := range winPeaks {
 		for _, pk := range ps {
 			best := (*runState)(nil)
 			for _, db := range []int{0, -1, 1} {
-				if st, ok := runs[(pk.Bin+db+n)%n]; ok {
-					if best == nil || st.count > best.count {
+				b := (pk.Bin + db + n) % n
+				if prevStamp[b] == int32(g)-1 {
+					if st := &prev[b]; best == nil || st.count > best.count {
 						best = st
 					}
 				}
 			}
-			st := &runState{count: 1, height: pk.Height}
+			st := runState{count: 1, height: pk.Height}
 			if best != nil {
 				st.count = best.count + 1
 				st.height = math.Max(best.height, pk.Height)
 				st.emitted = best.emitted
 			}
-			if prev, ok := next[pk.Bin]; !ok || st.count > prev.count {
-				next[pk.Bin] = st
+			stored := false
+			if curStamp[pk.Bin] != int32(g) || st.count > cur[pk.Bin].count {
+				cur[pk.Bin] = st
+				curStamp[pk.Bin] = int32(g)
+				stored = true
 			}
 			if st.count >= d.MinRun && !st.emitted {
-				st.emitted = true
+				if stored {
+					cur[pk.Bin].emitted = true
+				}
 				cands = append(cands, candidate{window: g, bin: pk.Bin, height: st.height})
 			}
 		}
-		runs = next
+		prev, cur = cur, prev
+		prevStamp, curStamp = curStamp, prevStamp
 	}
 	return cands
 }

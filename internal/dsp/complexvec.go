@@ -78,11 +78,12 @@ func Cis(theta float64) complex128 {
 }
 
 // ApplyTone multiplies x[i] by e^{i(phase0 + 2π f i)} in place, i.e. mixes x
-// with a complex tone of normalized frequency f (cycles per sample).
+// with a complex tone of normalized frequency f (cycles per sample). The
+// tone comes from a Rotator phase recurrence (one Sincos per
+// RotatorRenormBlock samples) rather than per-sample Cis evaluation.
 func ApplyTone(x []complex128, f, phase0 float64) {
-	// Use a phase recurrence only if numerically safe; the vectors here are
-	// short (≤ 2^SF·OSF) so direct evaluation is also fine and exact.
+	rot := NewRotator(phase0, 2*math.Pi*f)
 	for i := range x {
-		x[i] *= Cis(phase0 + 2*math.Pi*f*float64(i))
+		x[i] *= rot.Next()
 	}
 }

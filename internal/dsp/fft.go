@@ -92,25 +92,96 @@ func (p *FFTPlan) Inverse(x []complex128) {
 	}
 }
 
+// ForwardMag computes y[i] = |FFT(x)[i]|² in a single pass: the final
+// butterfly stage feeds squared magnitudes straight into y instead of
+// materializing the spectrum and re-walking it with MagSq. x is consumed as
+// scratch — after the call it holds the two half-size sub-transforms, not
+// the spectrum. len(y) and len(x) must equal the plan size.
+func (p *FFTPlan) ForwardMag(y []float64, x []complex128) {
+	n := p.n
+	if len(x) != n || len(y) != n {
+		panic(fmt.Sprintf("dsp: ForwardMag lengths (%d, %d) != plan size %d", len(y), len(x), n))
+	}
+	if n == 1 {
+		y[0] = real(x[0])*real(x[0]) + imag(x[0])*imag(x[0])
+		return
+	}
+	p.bitReverse(x)
+	p.butterflies(x, false, n>>1)
+	// Final stage fused with the magnitude computation: the butterfly
+	// outputs a = x[i] + w·x[i+half] and b = x[i] − w·x[i+half] are squared
+	// in registers and never stored.
+	half := n >> 1
+	for i := 0; i < half; i++ {
+		u := x[i]
+		t := x[i+half]
+		if i != 0 {
+			t = p.twiddle[i] * t
+		}
+		a, b := u+t, u-t
+		y[i] = real(a)*real(a) + imag(a)*imag(a)
+		y[i+half] = real(b)*real(b) + imag(b)*imag(b)
+	}
+}
+
 func (p *FFTPlan) transform(x []complex128, inverse bool) {
 	n := p.n
 	if len(x) != n {
 		panic(fmt.Sprintf("dsp: FFT input length %d != plan size %d", len(x), n))
 	}
-	// Bit-reversal permutation.
-	for i := 0; i < n; i++ {
+	p.bitReverse(x)
+	p.butterflies(x, inverse, n)
+}
+
+// bitReverse applies the plan's bit-reversal permutation in place.
+func (p *FFTPlan) bitReverse(x []complex128) {
+	for i := 0; i < p.n; i++ {
 		j := int(p.rev[i])
 		if i < j {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Iterative Cooley-Tukey butterflies.
-	for size := 2; size <= n; size <<= 1 {
+}
+
+// butterflies runs the iterative Cooley-Tukey stages from size 2 up to and
+// including upTo (a power of two ≤ n). The size-2 and size-4 stages are
+// unrolled — their twiddles are exactly 1 and ∓i, so they need no complex
+// multiplies — and every later stage skips the w == 1 multiply of its first
+// butterfly. Multiplying by (1+0i) or (0∓i) is exact in IEEE arithmetic, so
+// the specialized stages are bit-identical to the generic loop.
+func (p *FFTPlan) butterflies(x []complex128, inverse bool, upTo int) {
+	n := p.n
+	if upTo >= 2 {
+		// Size-2 stage: w = 1 for every butterfly.
+		for i := 0; i+1 < n; i += 2 {
+			a, b := x[i], x[i+1]
+			x[i], x[i+1] = a+b, a-b
+		}
+	}
+	if upTo >= 4 {
+		// Size-4 stage: w ∈ {1, -i} forward, {1, +i} inverse.
+		for s := 0; s < n; s += 4 {
+			a, b := x[s], x[s+2]
+			x[s], x[s+2] = a+b, a-b
+			c, d := x[s+1], x[s+3]
+			var t complex128
+			if inverse {
+				t = complex(-imag(d), real(d)) // +i·d
+			} else {
+				t = complex(imag(d), -real(d)) // -i·d
+			}
+			x[s+1], x[s+3] = c+t, c-t
+		}
+	}
+	for size := 8; size <= upTo; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
-			k := 0
-			for i := start; i < start+half; i++ {
+			// k == 0: w = 1, no multiply.
+			a, b := x[start], x[start+half]
+			x[start], x[start+half] = a+b, a-b
+			k := step
+			for i := start + 1; i < start+half; i++ {
 				w := p.twiddle[k]
 				if inverse {
 					w = complex(real(w), -imag(w))

@@ -134,6 +134,40 @@ func TestFFTLinearity(t *testing.T) {
 	}
 }
 
+// TestForwardMagMatchesForwardPlusMagSq checks the fused spectrum-magnitude
+// path against the two-pass reference. For sizes ≥ 8 the final fused stage
+// runs the same stored-twiddle butterflies as Forward, so the match is
+// bit-exact; the tiny sizes (where Forward's last stage is one of the
+// unrolled exact-twiddle specializations) are held to 1e-12 relative.
+func TestForwardMagMatchesForwardPlusMagSq(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 4, 8, 64, 256, 1024} {
+		x := randomVec(rng, n)
+		p := MustPlan(n)
+
+		spec := make([]complex128, n)
+		copy(spec, x)
+		p.Forward(spec)
+		want := make([]float64, n)
+		MagSq(want, spec)
+
+		buf := make([]complex128, n)
+		copy(buf, x)
+		got := make([]float64, n)
+		p.ForwardMag(got, buf)
+
+		for i := range got {
+			if n >= 8 {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d bin %d: ForwardMag %v != Forward+MagSq %v", n, i, got[i], want[i])
+				}
+			} else if math.Abs(got[i]-want[i]) > 1e-12*(want[i]+1) {
+				t.Fatalf("n=%d bin %d: ForwardMag %v vs Forward+MagSq %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestNewFFTPlanRejectsBadSizes(t *testing.T) {
 	for _, n := range []int{0, -4, 3, 6, 100} {
 		if _, err := NewFFTPlan(n); err == nil {
@@ -155,6 +189,20 @@ func TestPlanCacheReuse(t *testing.T) {
 
 func BenchmarkFFT256(b *testing.B)  { benchFFT(b, 256) }
 func BenchmarkFFT1024(b *testing.B) { benchFFT(b, 1024) }
+
+func BenchmarkForwardMag256(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomVec(rng, 256)
+	p := MustPlan(256)
+	buf := make([]complex128, 256)
+	y := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		p.ForwardMag(y, buf)
+	}
+}
 
 func benchFFT(b *testing.B, n int) {
 	rng := rand.New(rand.NewSource(3))

@@ -126,34 +126,28 @@ func (d *Demodulator) newBuf() []complex128 { return make([]complex128, d.p.N())
 // Using the absolute symbol index keeps the CFO correction phase-continuous
 // across the packet, which the synchronization search (paper §7, Q function)
 // relies on.
-func (d *Demodulator) DechirpInto(buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
-	n := d.p.N()
-	dsp.Resample(buf, rx, start, float64(d.p.OSF))
-	dsp.MulConj(buf, buf, d.ref.Up) // multiply by C' (conjugate upchirp)
-	if cfoCycles != 0 {
-		base := float64(symIndex) * cfoCycles
-		for i := 0; i < n; i++ {
-			ph := -2 * math.Pi * (base + cfoCycles*float64(i)/float64(n))
-			buf[i] *= dsp.Cis(ph)
-		}
+// The CFO correction multiplies sample i by e^{-2πi(symIndex·cfo + cfo·i/N)};
+// cfoPhases maps that to the Rotator parameters of the fused kernel.
+func (d *Demodulator) cfoPhases(cfoCycles float64, symIndex int) (phase0, dphase float64) {
+	if cfoCycles == 0 {
+		return 0, 0
 	}
+	return -2 * math.Pi * float64(symIndex) * cfoCycles,
+		-2 * math.Pi * cfoCycles / float64(d.p.N())
+}
+
+func (d *Demodulator) DechirpInto(buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
+	phase0, dphase := d.cfoPhases(cfoCycles, symIndex)
+	dsp.DechirpFused(buf, rx, start, float64(d.p.OSF), d.ref.Up, phase0, dphase)
 }
 
 // DechirpDownInto is DechirpInto against the base upchirp, used to locate
-// the preamble's downchirps.
+// the preamble's downchirps. A CFO tone survives dechirping unchanged
+// regardless of the chirp direction, so the correction sign matches
+// DechirpInto.
 func (d *Demodulator) DechirpDownInto(buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
-	n := d.p.N()
-	dsp.Resample(buf, rx, start, float64(d.p.OSF))
-	dsp.MulConj(buf, buf, d.ref.Down)
-	if cfoCycles != 0 {
-		base := float64(symIndex) * cfoCycles
-		for i := 0; i < n; i++ {
-			// A CFO tone survives dechirping unchanged regardless of the
-			// chirp direction, so the correction sign matches DechirpInto.
-			ph := -2 * math.Pi * (base + cfoCycles*float64(i)/float64(n))
-			buf[i] *= dsp.Cis(ph)
-		}
-	}
+	phase0, dphase := d.cfoPhases(cfoCycles, symIndex)
+	dsp.DechirpFused(buf, rx, start, float64(d.p.OSF), d.ref.Down, phase0, dphase)
 }
 
 // ComplexSignalVector returns FFT(rx_symbol ⊙ C'), the complex spectrum
@@ -180,11 +174,11 @@ func (d *Demodulator) ComplexDownVectorInto(buf []complex128, rx []complex128, s
 }
 
 // SignalVectorInto computes the signal vector Y = |FFT(symbol ⊙ C')|² into
-// y (length N), reusing buf (length N) as scratch.
+// y (length N), reusing buf (length N) as scratch. The spectrum is never
+// materialized: ForwardMag squares the final butterfly stage in registers.
 func (d *Demodulator) SignalVectorInto(y []float64, buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
 	d.DechirpInto(buf, rx, start, cfoCycles, symIndex)
-	d.plan.Forward(buf)
-	dsp.MagSq(y, buf)
+	d.plan.ForwardMag(y, buf)
 }
 
 // SignalVector is the allocating convenience form of SignalVectorInto.
@@ -199,8 +193,7 @@ func (d *Demodulator) SignalVector(rx []complex128, start float64, cfoCycles flo
 // SignalVectorInto, used by the detector's hot path.
 func (d *Demodulator) DownSignalVectorInto(y []float64, buf []complex128, rx []complex128, start float64, cfoCycles float64, symIndex int) {
 	d.DechirpDownInto(buf, rx, start, cfoCycles, symIndex)
-	d.plan.Forward(buf)
-	dsp.MagSq(y, buf)
+	d.plan.ForwardMag(y, buf)
 }
 
 // DownSignalVector computes |FFT(symbol ⊙ C)|², peaking for downchirps.

@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"math/rand"
 	"testing"
+
+	"tnb/internal/dsp"
 )
 
 func TestRefChirpsUnitAmplitude(t *testing.T) {
@@ -270,6 +272,109 @@ func BenchmarkSignalVectorSF8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d.SignalVectorInto(y, buf, sig, 0.25, 0.3, i&7)
 	}
+}
+
+// dechirpLegacyInto is the pre-kernel-layer 3-pass dechirp (Resample →
+// MulConj → per-sample Cis rotation), kept as the reference the fused
+// kernel is measured and property-tested against.
+func dechirpLegacyInto(d *Demodulator, buf, rx []complex128, start, cfoCycles float64, symIndex int, down bool) {
+	n := d.p.N()
+	dsp.Resample(buf, rx, start, float64(d.p.OSF))
+	ref := d.ref.Up
+	if down {
+		ref = d.ref.Down
+	}
+	dsp.MulConj(buf, buf, ref)
+	if cfoCycles != 0 {
+		base := float64(symIndex) * cfoCycles
+		for i := 0; i < n; i++ {
+			ph := -2 * math.Pi * (base + cfoCycles*float64(i)/float64(n))
+			buf[i] *= dsp.Cis(ph)
+		}
+	}
+}
+
+// TestDechirpIntoMatchesLegacy is the modem-level property test: across
+// random fractional starts, CFOs and symbol indices (and both chirp
+// directions), the fused DechirpInto path matches the legacy 3-pass path
+// within 1e-9 relative error.
+func TestDechirpIntoMatchesLegacy(t *testing.T) {
+	p := MustParams(8, 4, 125e3, 8)
+	d := NewDemodulator(p)
+	rng := rand.New(rand.NewSource(41))
+	rx := make([]complex128, 4*p.SymbolSamples())
+	for i := range rx {
+		rx[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	scale := 0.0
+	for _, v := range rx {
+		if a := cmplx.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	n := p.N()
+	got := make([]complex128, n)
+	want := make([]complex128, n)
+	for trial := 0; trial < 200; trial++ {
+		start := rng.Float64()*float64(3*p.SymbolSamples()) - 100
+		cfo := 0.0
+		if trial%4 != 0 {
+			cfo = rng.Float64()*9 - 4.5
+		}
+		symIdx := rng.Intn(40)
+		down := trial%2 == 1
+		if down {
+			d.DechirpDownInto(got, rx, start, cfo, symIdx)
+		} else {
+			d.DechirpInto(got, rx, start, cfo, symIdx)
+		}
+		dechirpLegacyInto(d, want, rx, start, cfo, symIdx, down)
+		for i := range got {
+			if e := cmplx.Abs(got[i] - want[i]); e > 1e-9*scale {
+				t.Fatalf("trial %d (start=%g cfo=%g sym=%d down=%t) sample %d: fused %v vs legacy %v (err %g)",
+					trial, start, cfo, symIdx, down, i, got[i], want[i], e)
+			}
+		}
+	}
+}
+
+// BenchmarkDechirp contrasts the fused single-pass kernel with the legacy
+// 3-pass path on one SF8 symbol, for the two hot shapes: the fractional
+// CFO-corrected dechirp of the sync search and sigcalc, and the
+// integer-aligned CFO-free dechirp of the detection scan.
+func BenchmarkDechirp(b *testing.B) {
+	p := MustParams(8, 4, 125e3, 8)
+	d := NewDemodulator(p)
+	rng := rand.New(rand.NewSource(42))
+	rx := make([]complex128, 4*p.SymbolSamples())
+	for i := range rx {
+		rx[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	buf := make([]complex128, p.N())
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.DechirpInto(buf, rx, 1000.37, -2.25, i&7)
+		}
+	})
+	b.Run("fused_scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.DechirpInto(buf, rx, float64(p.SymbolSamples()), 0, 0)
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dechirpLegacyInto(d, buf, rx, 1000.37, -2.25, i&7, false)
+		}
+	})
+	b.Run("legacy_scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dechirpLegacyInto(d, buf, rx, float64(p.SymbolSamples()), 0, 0, false)
+		}
+	})
 }
 
 func TestIntoVariantsMatchAllocatingForms(t *testing.T) {

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # bench_pipeline.sh — measure the receiver pipeline across worker-pool widths
-# and write BENCH_pipeline.json (ns/op, allocs/op, bytes/op, samples/sec per
-# variant) for tracking the parallel-decode and allocation work.
+# plus the dechirp/sigcalc kernel micro-benchmarks, and write
+# BENCH_pipeline.json (ns/op, allocs/op, bytes/op, samples/sec per variant)
+# for tracking the parallel-decode, allocation and kernel-fusion work.
 #
 # Usage: scripts/bench_pipeline.sh [benchtime] [output]
-#   benchtime  go test -benchtime value (default 5x)
+#   benchtime  go test -benchtime value for the receiver bench (default 5x;
+#              kernel micro-benches always use time-based 200ms runs)
 #   output     JSON path (default BENCH_pipeline.json in the repo root)
 set -euo pipefail
 
@@ -15,10 +17,19 @@ out="${2:-BENCH_pipeline.json}"
 raw=$(go test -bench 'BenchmarkReceiver/' -benchtime "$benchtime" -run '^$' . )
 echo "$raw" >&2
 
-echo "$raw" | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
-/^BenchmarkReceiver\// {
+# Kernel micro-benchmarks: the fused dechirp (vs the legacy 3-pass path), one
+# Q evaluation of the fractional sync search, and the preamble scan across
+# pool widths. Time-based benchtime keeps these stable regardless of the
+# iteration count passed for the (much slower) receiver bench.
+kraw=$(go test -bench 'BenchmarkDechirp$' -benchtime 200ms -run '^$' ./internal/lora
+       go test -bench 'BenchmarkEvalQ$|BenchmarkScanPreambles$' -benchtime 200ms -run '^$' ./internal/detect
+       go test -bench 'BenchmarkDechirpKernel$|BenchmarkForwardMag256$' -benchtime 200ms -run '^$' ./internal/dsp)
+echo "$kraw" >&2
+
+{ echo "$raw"; echo "===KERNELS==="; echo "$kraw"; } | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
+/^===KERNELS===$/ { kernels = 1; next }
+/^Benchmark/ {
     name = $1
-    sub(/^BenchmarkReceiver\//, "", name)
     sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
     ns = ""; allocs = ""; bytes = ""; sps = ""
     for (i = 2; i <= NF; i++) {
@@ -28,9 +39,17 @@ echo "$raw" | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
         if ($(i) == "samples/sec") sps = $(i-1)
     }
     if (ns == "") next
-    if (seen[name]++) next             # keep the first run of a repeated name
-    order[n++] = name
-    NS[name] = ns; AL[name] = allocs; BY[name] = bytes; SPS[name] = sps
+    if (!kernels && name ~ /^BenchmarkReceiver\//) {
+        sub(/^BenchmarkReceiver\//, "", name)
+        if (seen[name]++) next         # keep the first run of a repeated name
+        order[n++] = name
+        NS[name] = ns; AL[name] = allocs; BY[name] = bytes; SPS[name] = sps
+    } else if (kernels) {
+        sub(/^Benchmark/, "", name)
+        if (kseen[name]++) next
+        korder[kn++] = name
+        KNS[name] = ns
+    }
 }
 END {
     printf "{\n"
@@ -42,11 +61,21 @@ END {
     # against. allocs_per_op dropped 45% and bytes_per_op 92% on the same
     # host; wall-clock scaling additionally needs host_cpus > 1.
     printf "  \"pre_pr_baseline\": {\"commit\": \"11d64f1\", \"ns_per_op\": 181000000, \"allocs_per_op\": 44098, \"bytes_per_op\": 82000000},\n"
+    # Pre-kernel-fusion reference (commit 91d79bc, bare variant): what the
+    # fused dechirp / ForwardMag / rotator work is measured against. The
+    # acceptance bar for the kernel PR is >= 25% ns_per_op improvement.
+    printf "  \"pre_kernel_baseline\": {\"commit\": \"91d79bc\", \"ns_per_op\": 152130196, \"allocs_per_op\": 24103, \"bytes_per_op\": 6922685},\n"
     printf "  \"variants\": {\n"
     for (i = 0; i < n; i++) {
         name = order[i]
         printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"samples_per_sec\": %s}%s\n", \
             name, NS[name], AL[name], BY[name], SPS[name], (i < n-1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"kernels\": {\n"
+    for (i = 0; i < kn; i++) {
+        name = korder[i]
+        printf "    \"%s\": {\"ns_per_op\": %s}%s\n", name, KNS[name], (i < kn-1 ? "," : "")
     }
     printf "  }\n"
     printf "}\n"
