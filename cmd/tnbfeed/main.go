@@ -1,17 +1,22 @@
 // tnbfeed streams an IQ trace file to a tnbgateway server and prints the
-// decoded packet reports it returns.
+// decoded packet reports it returns. Transient failures (connection
+// refused, overload shedding) are retried with exponential backoff; a
+// typed server verdict (bad hello, sample cap) is printed with its code
+// and not retried.
 //
 // Usage:
 //
-//	tnbfeed -addr 127.0.0.1:7002 -sf 8 trace.iq
+//	tnbfeed -addr 127.0.0.1:7002 -sf 8 -retries 4 trace.iq
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"tnb/internal/gateway"
 	"tnb/internal/lora"
@@ -20,10 +25,12 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7002", "gateway address")
-		sf   = flag.Int("sf", 8, "spreading factor of the trace")
-		bw   = flag.Float64("bw", 125e3, "bandwidth in Hz")
-		osf  = flag.Int("osf", 8, "over-sampling factor")
+		addr      = flag.String("addr", "127.0.0.1:7002", "gateway address")
+		sf        = flag.Int("sf", 8, "spreading factor of the trace")
+		bw        = flag.Float64("bw", 125e3, "bandwidth in Hz")
+		osf       = flag.Int("osf", 8, "over-sampling factor")
+		retries   = flag.Int("retries", 4, "total attempts for transient failures (connect errors, overload shedding)")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry delay; doubles per attempt with jitter")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,15 +49,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	c, err := gateway.Dial(*addr, gateway.Hello{SF: *sf, CR: 4, Bandwidth: *bw, OSF: *osf})
+	hello := gateway.Hello{SF: *sf, CR: 4, Bandwidth: *bw, OSF: *osf}
+	reports, err := gateway.Stream(*addr, hello, tr.Antennas[0],
+		gateway.Backoff{Attempts: *retries, Base: *retryBase})
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Send(tr.Antennas[0]); err != nil {
-		log.Fatal(err)
-	}
-	reports, err := c.Finish()
-	if err != nil {
+		var ge *gateway.GatewayError
+		if errors.As(err, &ge) {
+			log.Fatalf("server rejected the stream (code %s): %s", ge.Code, ge.Message)
+		}
 		log.Fatal(err)
 	}
 	fmt.Printf("- gateway decoded %d pkts -\n", len(reports))

@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tnb/internal/gateway"
 	"tnb/internal/metrics"
@@ -42,6 +43,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
 	traceRing := flag.Int("trace-ring", 256, "decode traces kept for GET /debug/traces")
 	workers := flag.Int("workers", 0, "receiver worker-pool width per connection (0 = all cores, 1 = serial); output is identical for every value")
+	readTimeout := flag.Duration("read-timeout", 0, "per-read client deadline (0 = 2m default, negative disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-write client deadline (0 = 30s default, negative disables)")
+	maxConns := flag.Int("max-conns", 0, "overload budget: shed connections past this many concurrent clients (0 = unlimited)")
+	maxSamples := flag.Int64("max-samples", 0, "per-connection IQ sample cap; past it the client gets a sample_limit reply (0 = unlimited)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight connections are force-closed")
 	flag.Parse()
 
 	logOut := io.Writer(os.Stderr)
@@ -65,7 +71,11 @@ func main() {
 	}
 	tracer := obs.New(obs.Options{Sink: sink, RingSize: *traceRing})
 
-	srv := &gateway.Server{Registry: metrics.Default, Tracer: tracer, Log: log, Workers: *workers}
+	srv := &gateway.Server{
+		Registry: metrics.Default, Tracer: tracer, Log: log, Workers: *workers,
+		ReadTimeout: *readTimeout, WriteTimeout: *writeTimeout,
+		MaxConns: *maxConns, MaxSamplesPerConn: *maxSamples,
+	}
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", metrics.Handler(metrics.Default))
@@ -84,8 +94,19 @@ func main() {
 			}
 		}()
 	}
+	// On SIGINT/SIGTERM the context cancels: stop accepting, drain
+	// in-flight decodes for the budget, then force-close stragglers.
+	go func() {
+		<-ctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Warn("drain budget expired; connections force-closed", "err", err)
+		}
+	}()
 	if err := srv.ListenAndServe(ctx, *listen); err != nil {
 		log.Error("gateway failed", "err", err)
 		os.Exit(1)
 	}
+	log.Info("gateway stopped")
 }

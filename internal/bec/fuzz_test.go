@@ -1,0 +1,82 @@
+package bec
+
+import (
+	"testing"
+
+	"tnb/internal/lora"
+)
+
+// FuzzBECDecode throws arbitrary received blocks at every coding rate and
+// checks the decoder's structural invariants: no panic, NoError and Failed
+// are mutually exclusive, NoError yields exactly one candidate, and every
+// candidate row is a valid codeword (re-encoding its data reproduces it).
+func FuzzBECDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// A clean CR 4 block: rows that are already valid codewords.
+	clean := []byte{3}
+	for _, d := range []uint8{0x3, 0x7, 0xa, 0x5, 0xc, 0x1, 0xe} {
+		clean = append(clean, lora.HammingEncode(d, 4))
+	}
+	f.Add(clean)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// Byte 0 picks the coding rate (including the invalid ones the
+		// dispatcher must reject); the rest become row codewords. Rows span
+		// the SF range the pipeline produces (header blocks and payload
+		// blocks at SF 6..12).
+		cr := int(data[0]%6) - 1 // -1..4: exercises the default arm too
+		rows := len(data) - 1
+		if rows > 12 {
+			rows = 12
+		}
+		if rows < 1 {
+			return
+		}
+		cols := 8
+		if cr >= 1 && cr <= 4 {
+			cols = 4 + cr
+		}
+		R := lora.NewBlock(rows, cols)
+		for r := 0; r < rows; r++ {
+			R.SetRowCodeword(r, data[1+r])
+		}
+		before := R.Clone()
+
+		res := DecodeBlock(R, cr)
+
+		if !R.Equal(before) {
+			t.Fatal("DecodeBlock mutated its input block")
+		}
+		if res.NoError && res.Failed {
+			t.Fatal("result is both NoError and Failed")
+		}
+		if res.NoError && len(res.Candidates) != 1 {
+			t.Fatalf("NoError with %d candidates, want exactly 1", len(res.Candidates))
+		}
+		if cr < 1 || cr > 4 {
+			if !res.Failed {
+				t.Fatalf("cr %d accepted", cr)
+			}
+			return
+		}
+		for ci, cand := range res.Candidates {
+			if cand.Rows != rows || cand.Cols != cols {
+				t.Fatalf("candidate %d has shape %dx%d, want %dx%d",
+					ci, cand.Rows, cand.Cols, rows, cols)
+			}
+			for r := 0; r < rows; r++ {
+				cw := cand.RowCodeword(r)
+				d, dist, _ := lora.HammingDecodeDefault(cw, cr)
+				if dist != 0 || lora.HammingEncode(d, cr) != cw {
+					t.Fatalf("candidate %d row %d codeword %#02x is not valid at cr %d",
+						ci, r, cw, cr)
+				}
+			}
+		}
+	})
+}

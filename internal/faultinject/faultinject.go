@@ -1,0 +1,336 @@
+// Package faultinject is a deterministic, seedable fault-injection layer
+// for exercising the gateway ingest path. A Scenario names one class of
+// client misbehavior — truncated streams, slow or short I/O, duplicated and
+// reordered sample chunks, mid-stream disconnects, corrupted hello bytes,
+// and IQ-level signal faults (int16 saturation, NaN/Inf floats, silence
+// gaps) — and every byte of injected damage is reproducible from
+// (Kind, Seed): the same scenario against the same input produces the same
+// wire bytes, so a chaos failure replays as a unit test.
+//
+// The package attacks from the client side: WrapConn decorates the
+// client's net.Conn so its writes reach the server mangled, and the
+// Samples/Chunks helpers mangle the IQ feed before it is serialized. The
+// server-side hardening that each scenario exercises lives in
+// internal/gateway and internal/stream.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Kind names one fault class.
+type Kind string
+
+const (
+	// None passes traffic through untouched (the control scenario).
+	None Kind = "none"
+	// Truncate ends the stream early: after a seed-chosen byte budget the
+	// connection is closed mid-chunk, possibly splitting an int16 IQ quad.
+	Truncate Kind = "truncate"
+	// SlowIO delivers the same bytes in tiny bursts separated by delays —
+	// a trickling client that exercises read deadlines.
+	SlowIO Kind = "slow_io"
+	// Duplicate re-sends some sample chunks immediately after themselves.
+	Duplicate Kind = "duplicate"
+	// Reorder swaps adjacent sample chunks before sending.
+	Reorder Kind = "reorder"
+	// Disconnect aborts the connection (RST, no half-close) mid-stream.
+	Disconnect Kind = "disconnect"
+	// CorruptHello flips bytes inside the opening JSON hello line.
+	CorruptHello Kind = "corrupt_hello"
+	// IQSaturate drives a fraction of samples to int16 full scale.
+	IQSaturate Kind = "iq_saturate"
+	// IQNaN replaces a fraction of samples with NaN/Inf components.
+	IQNaN Kind = "iq_nan"
+	// IQSilence zeroes seed-chosen gaps in the sample feed.
+	IQSilence Kind = "iq_silence"
+)
+
+// Kinds lists every fault class, the order chaos tests cycle through.
+var Kinds = []Kind{
+	Truncate, SlowIO, Duplicate, Reorder, Disconnect,
+	CorruptHello, IQSaturate, IQNaN, IQSilence,
+}
+
+// ErrInjected marks I/O failures the scenario itself caused, so callers can
+// tell injected damage from unexpected breakage.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Scenario is one reproducible fault configuration. The zero value of every
+// knob selects a seed-derived default, so {Kind, Seed} alone is a complete
+// scenario.
+type Scenario struct {
+	Kind Kind
+	Seed int64
+
+	// TruncateAfter / DisconnectAfter are wire-byte budgets for the
+	// Truncate and Disconnect kinds (0 → seed-chosen in [64, 256 KiB)).
+	TruncateAfter   int
+	DisconnectAfter int
+	// Delay is the pause between SlowIO bursts (0 → 2ms).
+	Delay time.Duration
+	// BurstBytes is the SlowIO write size (0 → seed-chosen in [16, 512)).
+	BurstBytes int
+	// Rate is the fault density for the IQ kinds: the fraction of samples
+	// saturated/poisoned, or the fraction of the feed silenced
+	// (0 → 0.05).
+	Rate float64
+	// CorruptBytes is how many hello bytes are flipped (0 → 3).
+	CorruptBytes int
+}
+
+// String renders the scenario identity, the replay key for failures.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("%s/seed=%d", sc.Kind, sc.Seed)
+}
+
+// rng returns the scenario's private deterministic stream. Every helper
+// derives its randomness from a fresh rng so the order helpers are called
+// in does not change any one helper's behavior.
+func (sc Scenario) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(sc.Seed*1000003 + salt))
+}
+
+func (sc Scenario) byteBudget(explicit int, salt int64) int {
+	if explicit > 0 {
+		return explicit
+	}
+	return 64 + sc.rng(salt).Intn(1<<18-64)
+}
+
+func (sc Scenario) rate() float64 {
+	if sc.Rate > 0 {
+		return sc.Rate
+	}
+	return 0.05
+}
+
+// Samples applies the scenario's IQ-level faults to a copy of the feed.
+// Non-IQ kinds return the input unchanged (no copy).
+func (sc Scenario) Samples(in []complex128) []complex128 {
+	switch sc.Kind {
+	case IQSaturate, IQNaN, IQSilence:
+	default:
+		return in
+	}
+	out := make([]complex128, len(in))
+	copy(out, in)
+	rng := sc.rng(1)
+	switch sc.Kind {
+	case IQSaturate:
+		// Full-scale int16 maps to ±32767/4096 ≈ ±8.0 after the gateway's
+		// fixed-point conversion; drive well past it so clamping engages.
+		for i := range out {
+			if rng.Float64() < sc.rate() {
+				out[i] = complex(64*sign(rng), 64*sign(rng))
+			}
+		}
+	case IQNaN:
+		poison := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+		for i := range out {
+			if rng.Float64() < sc.rate() {
+				out[i] = complex(poison[rng.Intn(len(poison))], poison[rng.Intn(len(poison))])
+			}
+		}
+	case IQSilence:
+		// Silence the feed in gaps whose total length is Rate of the feed.
+		total := int(float64(len(out)) * sc.rate())
+		for total > 0 {
+			gap := 1 + rng.Intn(4096)
+			if gap > total {
+				gap = total
+			}
+			at := rng.Intn(len(out))
+			end := at + gap
+			if end > len(out) {
+				end = len(out)
+			}
+			for i := at; i < end; i++ {
+				out[i] = 0
+			}
+			total -= gap
+		}
+	}
+	return out
+}
+
+func sign(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}
+
+// Chunks splits the feed into seed-sized chunks and applies the scenario's
+// order faults: Duplicate re-sends ~10% of chunks, Reorder swaps ~10% of
+// adjacent pairs. Other kinds get a plain deterministic chunking.
+func (sc Scenario) Chunks(samples []complex128) [][]complex128 {
+	rng := sc.rng(2)
+	var chunks [][]complex128
+	for off := 0; off < len(samples); {
+		n := 4096 + rng.Intn(61440)
+		if off+n > len(samples) {
+			n = len(samples) - off
+		}
+		chunks = append(chunks, samples[off:off+n])
+		off += n
+	}
+	switch sc.Kind {
+	case Duplicate:
+		var out [][]complex128
+		for _, c := range chunks {
+			out = append(out, c)
+			if rng.Float64() < 0.1 {
+				out = append(out, c)
+			}
+		}
+		return out
+	case Reorder:
+		for i := 0; i+1 < len(chunks); i += 2 {
+			if rng.Float64() < 0.3 {
+				chunks[i], chunks[i+1] = chunks[i+1], chunks[i]
+			}
+		}
+		return chunks
+	default:
+		return chunks
+	}
+}
+
+// CorruptLine flips the scenario's byte budget inside line (the hello),
+// avoiding the trailing newline so the line stays a single line. Only the
+// CorruptHello kind corrupts; other kinds return the input unchanged.
+func (sc Scenario) CorruptLine(line []byte) []byte {
+	if sc.Kind != CorruptHello || len(line) == 0 {
+		return line
+	}
+	out := make([]byte, len(line))
+	copy(out, line)
+	rng := sc.rng(3)
+	n := sc.CorruptBytes
+	if n == 0 {
+		n = 3
+	}
+	span := len(out)
+	if out[span-1] == '\n' {
+		span--
+	}
+	if span == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		at := rng.Intn(span)
+		bit := byte(1) << uint(rng.Intn(7)) // stay clear of bit 7: keep it ASCII-ish, and never form '\n' (0x0a→0x8a would)
+		out[at] ^= bit
+		if out[at] == '\n' {
+			out[at] ^= bit // undo a flip that would split the line
+		}
+	}
+	return out
+}
+
+// Conn wraps a client connection so that writes toward the server suffer
+// the scenario's byte-level faults. Reads pass through untouched (replies
+// are the server's to mangle). Close is idempotent.
+type Conn struct {
+	net.Conn
+	sc      Scenario
+	written int
+	budget  int // Truncate/Disconnect wire budget; 0 when unused
+	burst   int
+	tripped bool
+}
+
+// WrapConn decorates c with the scenario's wire faults. Kinds without a
+// wire-level component (IQ faults, Duplicate/Reorder, CorruptHello) pass
+// writes through unchanged — their damage is injected before serialization.
+func WrapConn(c net.Conn, sc Scenario) *Conn {
+	fc := &Conn{Conn: c, sc: sc}
+	switch sc.Kind {
+	case Truncate:
+		fc.budget = sc.byteBudget(sc.TruncateAfter, 4)
+	case Disconnect:
+		fc.budget = sc.byteBudget(sc.DisconnectAfter, 5)
+	case SlowIO:
+		fc.burst = sc.BurstBytes
+		if fc.burst == 0 {
+			fc.burst = 16 + sc.rng(6).Intn(496)
+		}
+	}
+	return fc
+}
+
+// Write applies the wire faults. Once a budgeted fault trips, every later
+// write fails with ErrInjected.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.tripped {
+		return 0, ErrInjected
+	}
+	switch c.sc.Kind {
+	case Truncate:
+		return c.writeBudget(p, false)
+	case Disconnect:
+		return c.writeBudget(p, true)
+	case SlowIO:
+		return c.writeSlow(p)
+	default:
+		n, err := c.Conn.Write(p)
+		c.written += n
+		return n, err
+	}
+}
+
+// writeBudget writes until the byte budget is spent, then ends the stream:
+// a Truncate scenario closes cleanly (FIN — the server sees EOF mid-quad),
+// a Disconnect scenario aborts (RST via SetLinger(0) when supported).
+func (c *Conn) writeBudget(p []byte, abort bool) (int, error) {
+	left := c.budget - c.written
+	if left > len(p) {
+		n, err := c.Conn.Write(p)
+		c.written += n
+		return n, err
+	}
+	n := 0
+	if left > 0 {
+		n, _ = c.Conn.Write(p[:left])
+		c.written += n
+	}
+	c.tripped = true
+	if abort {
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+	c.Conn.Close()
+	return n, fmt.Errorf("%w: %s after %d bytes", ErrInjected, c.sc.Kind, c.written)
+}
+
+// writeSlow trickles p in fixed bursts separated by the scenario delay.
+func (c *Conn) writeSlow(p []byte) (int, error) {
+	delay := c.sc.Delay
+	if delay == 0 {
+		delay = 2 * time.Millisecond
+	}
+	total := 0
+	for off := 0; off < len(p); off += c.burst {
+		end := off + c.burst
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := c.Conn.Write(p[off:end])
+		total += n
+		c.written += n
+		if err != nil {
+			return total, err
+		}
+		if end < len(p) {
+			time.Sleep(delay)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,271 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+func sampleRamp(n int) []complex128 {
+	s := make([]complex128, n)
+	for i := range s {
+		s[i] = complex(float64(i%100)/100, -float64(i%37)/37)
+	}
+	return s
+}
+
+// pipeConns returns a connected TCP pair so the Conn wrapper is exercised
+// over the same transport the gateway uses.
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	in := sampleRamp(20_000)
+	for _, kind := range []Kind{IQSaturate, IQNaN, IQSilence} {
+		sc := Scenario{Kind: kind, Seed: 7}
+		a := sc.Samples(in)
+		b := sc.Samples(in)
+		for i := range a {
+			ar, ai := real(a[i]), imag(a[i])
+			br, bi := real(b[i]), imag(b[i])
+			// NaN != NaN, so compare bit patterns.
+			if math.Float64bits(ar) != math.Float64bits(br) || math.Float64bits(ai) != math.Float64bits(bi) {
+				t.Fatalf("%s: sample %d differs between runs", kind, i)
+			}
+		}
+		// A different seed must damage different samples.
+		c := Scenario{Kind: kind, Seed: 8}.Samples(in)
+		same := true
+		for i := range a {
+			if math.Float64bits(real(a[i])) != math.Float64bits(real(c[i])) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 7 and 8 injected identical damage", kind)
+		}
+		// The input must not be modified.
+		ref := sampleRamp(20_000)
+		for i := range in {
+			if in[i] != ref[i] {
+				t.Fatalf("%s: input mutated at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestSamplesFaultDensity(t *testing.T) {
+	in := sampleRamp(50_000)
+	sc := Scenario{Kind: IQNaN, Seed: 3, Rate: 0.1}
+	out := sc.Samples(in)
+	bad := 0
+	for _, v := range out {
+		if math.IsNaN(real(v)) || math.IsInf(real(v), 0) ||
+			math.IsNaN(imag(v)) || math.IsInf(imag(v), 0) {
+			bad++
+		}
+	}
+	if bad < 3000 || bad > 7000 {
+		t.Errorf("poisoned %d/50000 samples, want ~5000", bad)
+	}
+
+	sil := Scenario{Kind: IQSilence, Seed: 3, Rate: 0.1}.Samples(in)
+	zeros := 0
+	for _, v := range sil {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 2000 {
+		t.Errorf("silenced only %d samples", zeros)
+	}
+}
+
+func TestChunksPreserveSamplesForOrderKinds(t *testing.T) {
+	in := sampleRamp(100_000)
+	for _, kind := range []Kind{None, SlowIO, Reorder} {
+		sc := Scenario{Kind: kind, Seed: 11}
+		total := 0
+		for _, c := range sc.Chunks(in) {
+			total += len(c)
+		}
+		if total != len(in) {
+			t.Errorf("%s: chunks hold %d samples, want %d", kind, total, len(in))
+		}
+	}
+	// Duplicate must re-send at least one chunk across a few seeds.
+	dup := false
+	for seed := int64(0); seed < 8 && !dup; seed++ {
+		sc := Scenario{Kind: Duplicate, Seed: seed}
+		total := 0
+		for _, c := range sc.Chunks(in) {
+			total += len(c)
+		}
+		dup = total > len(in)
+	}
+	if !dup {
+		t.Error("duplicate scenario never duplicated a chunk in 8 seeds")
+	}
+	// Reorder must swap at least one adjacent pair across a few seeds.
+	swapped := false
+	for seed := int64(0); seed < 8 && !swapped; seed++ {
+		sc := Scenario{Kind: Reorder, Seed: seed}
+		chunks := sc.Chunks(in)
+		off := 0
+		for _, c := range chunks {
+			if &c[0] != &in[off] {
+				swapped = true
+				break
+			}
+			off += len(c)
+		}
+	}
+	if !swapped {
+		t.Error("reorder scenario never swapped a pair in 8 seeds")
+	}
+}
+
+func TestCorruptLine(t *testing.T) {
+	line := []byte(`{"sf": 8, "cr": 4}` + "\n")
+	sc := Scenario{Kind: CorruptHello, Seed: 5}
+	a := sc.CorruptLine(line)
+	b := sc.CorruptLine(line)
+	if !bytes.Equal(a, b) {
+		t.Error("corruption not deterministic")
+	}
+	if bytes.Equal(a, line) {
+		t.Error("line not corrupted")
+	}
+	if a[len(a)-1] != '\n' {
+		t.Error("trailing newline destroyed")
+	}
+	if bytes.ContainsRune(a[:len(a)-1], '\n') {
+		t.Error("corruption split the line")
+	}
+	// Other kinds must not touch the line.
+	if got := (Scenario{Kind: Truncate, Seed: 5}).CorruptLine(line); !bytes.Equal(got, line) {
+		t.Error("non-corrupt kind modified the line")
+	}
+}
+
+func TestWrapConnTruncate(t *testing.T) {
+	client, server := pipeConns(t)
+	fc := WrapConn(client, Scenario{Kind: Truncate, Seed: 1, TruncateAfter: 1000})
+
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	n, err := fc.Write(payload)
+	if n != 1000 {
+		t.Errorf("wrote %d bytes before truncation, want 1000", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("truncation error = %v, want ErrInjected", err)
+	}
+	if _, err := fc.Write(payload); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip write error = %v, want ErrInjected", err)
+	}
+
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if len(got) != 1000 {
+		t.Errorf("server received %d bytes, want exactly 1000", len(got))
+	}
+}
+
+func TestWrapConnSlowIODeliversEverything(t *testing.T) {
+	client, server := pipeConns(t)
+	fc := WrapConn(client, Scenario{Kind: SlowIO, Seed: 2, BurstBytes: 256, Delay: 100 * time.Microsecond})
+
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		if _, err := fc.Write(payload); err != nil {
+			done <- err
+			return
+		}
+		done <- fc.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatal(werr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("slow I/O corrupted the stream: got %d bytes", len(got))
+	}
+}
+
+func TestWrapConnDisconnect(t *testing.T) {
+	client, server := pipeConns(t)
+	fc := WrapConn(client, Scenario{Kind: Disconnect, Seed: 3, DisconnectAfter: 500})
+
+	if _, err := fc.Write(make([]byte, 2000)); !errors.Is(err, ErrInjected) {
+		t.Errorf("disconnect error = %v, want ErrInjected", err)
+	}
+	// The server eventually sees the stream end — as an error (RST) or EOF
+	// after at most the budgeted bytes.
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := io.Copy(io.Discard, server)
+	if err == nil && n > 500 {
+		t.Errorf("server read %d bytes cleanly, want ≤500 or an error", n)
+	}
+}
+
+// TestWireBytesDeterministic serializes an IQ-faulted, chunked feed the way
+// a client would and checks the exact wire bytes repeat across runs.
+func TestWireBytesDeterministic(t *testing.T) {
+	in := sampleRamp(30_000)
+	render := func() []byte {
+		sc := Scenario{Kind: IQSaturate, Seed: 9}
+		var buf bytes.Buffer
+		for _, chunk := range sc.Chunks(sc.Samples(in)) {
+			var quad [4]byte
+			for _, v := range chunk {
+				binary.LittleEndian.PutUint16(quad[0:2], uint16(int16(real(v))))
+				binary.LittleEndian.PutUint16(quad[2:4], uint16(int16(imag(v))))
+				buf.Write(quad[:])
+			}
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Error("wire bytes differ between identical scenario runs")
+	}
+}

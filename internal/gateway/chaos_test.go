@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tnb/internal/faultinject"
+	"tnb/internal/metrics"
+)
+
+// TestGatewayChaosSoak hammers one server with concurrent clients cycling
+// through every fault scenario class, then asserts the three properties a
+// gateway must keep under abuse: no panic, no goroutine leak, no wedged
+// connection. Scenario seeds are deterministic, so a failure here replays.
+//
+// -short trims the client and round counts to CI scale; the full matrix
+// runs in the default mode.
+func TestGatewayChaosSoak(t *testing.T) {
+	clients, rounds := 6, 3
+	if testing.Short() {
+		clients, rounds = 4, 2
+	}
+
+	before := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv := &Server{
+		Log:      testLogger(t),
+		Registry: reg,
+		// Aggressive knobs so the soak exercises every rejection path:
+		// stalls are cut quickly and long streams hit the cap.
+		ReadTimeout:       250 * time.Millisecond,
+		MaxSamplesPerConn: 3_000_000,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+
+	// One shared trace: the soak is about transport chaos, not decode
+	// variety, and building IQ is the expensive part.
+	tr, _ := soakTrace(t, 930, 2)
+	samples := tr.Antennas[0]
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				kind := faultinject.Kinds[(client*rounds+round)%len(faultinject.Kinds)]
+				sc := faultinject.Scenario{
+					Kind: kind,
+					Seed: int64(1000 + client*17 + round),
+					// Keep slow-IO stalls shorter than the watchdog but
+					// longer than the server's read deadline.
+					Delay:      400 * time.Millisecond,
+					BurstBytes: 4096,
+				}
+				// Outcomes are scenario-dependent (verdict, transport
+				// error, or clean decode); the soak only demands that every
+				// exchange terminates.
+				runScenario(t, addr, sc, samples, Hello{SF: 8, CR: 4})
+			}
+		}(i)
+	}
+
+	// Wedge watchdog: every faulty exchange must terminate.
+	soakDone := make(chan struct{})
+	go func() { wg.Wait(); close(soakDone) }()
+	select {
+	case <-soakDone:
+	case <-time.After(120 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("chaos soak wedged; goroutines:\n%s", buf[:runtime.Stack(buf, true)])
+	}
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not stop after the soak")
+	}
+
+	// Every connection must be accounted for...
+	met := NewMetrics(reg)
+	waitGauge(t, met.ConnectionsActive, 0)
+	if got, want := met.ConnectionsTotal.Value(), uint64(clients*rounds); got < want {
+		t.Errorf("connections_total = %d, want ≥ %d", got, want)
+	}
+
+	// ...and every goroutine must be gone. Decode workers and TCP handlers
+	// wind down asynchronously, so poll with a small tolerance.
+	deadline := time.Now().Add(10 * time.Second)
+	var after int
+	for {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before+3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if after > before+3 {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, after, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -1,0 +1,48 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Error codes carried in the server's one-line JSON error replies. Clients
+// switch on the code, not the message.
+const (
+	// CodeBadHello: the opening hello line was unparseable or its radio
+	// parameters were out of range.
+	CodeBadHello = "bad_hello"
+	// CodeOverloaded: the server is at its connection budget; retry with
+	// backoff.
+	CodeOverloaded = "overloaded"
+	// CodeSampleLimit: the connection exceeded the per-connection sample
+	// cap and was closed.
+	CodeSampleLimit = "sample_limit"
+	// CodeStreamOverflow: the decode buffer hit its hard ceiling.
+	CodeStreamOverflow = "stream_overflow"
+)
+
+// GatewayError is the server's typed one-line JSON error reply, and the
+// error type the Client returns when it receives one. Retryable reports
+// whether a fresh attempt may succeed.
+type GatewayError struct {
+	Code    string `json:"code"`
+	Message string `json:"error"`
+}
+
+func (e *GatewayError) Error() string {
+	return fmt.Sprintf("gateway: %s: %s", e.Code, e.Message)
+}
+
+// Retryable reports whether the verdict is a transient server condition
+// (today: overload shedding) rather than a client mistake.
+func (e *GatewayError) Retryable() bool { return e.Code == CodeOverloaded }
+
+// parseErrorReply recognizes a server error line among report lines: any
+// JSON object with a non-empty "error" member. Returns nil for reports.
+func parseErrorReply(raw []byte) *GatewayError {
+	var ge GatewayError
+	if err := json.Unmarshal(raw, &ge); err != nil || ge.Message == "" {
+		return nil
+	}
+	return &ge
+}

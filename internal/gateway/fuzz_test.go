@@ -1,0 +1,54 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzHelloValidate replays arbitrary hello lines through the exact server
+// ingest path: bounded line read, JSON decode, Validate. Properties: no
+// panic, the line reader honors its cap, and an accepted hello survives a
+// marshal round-trip still valid (so a logged/forwarded hello cannot turn
+// invalid downstream).
+func FuzzHelloValidate(f *testing.F) {
+	f.Add([]byte(`{"sf": 8, "cr": 4}` + "\n"))
+	f.Add([]byte(`{"sf": 99}` + "\n"))
+	f.Add([]byte(`{"sf": 7, "cr": 1, "bandwidth_hz": 250000, "osf": 2, "use_bec": false, "trace": true}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte(`{"sf": 8, "bandwidth_hz": -1}` + "\n"))
+	f.Add([]byte(`{"sf": 8, "osf": 1e308}` + "\n"))
+	f.Add([]byte("\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n'})
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		br := bufio.NewReader(bytes.NewReader(line))
+		raw, err := readLineLimit(br, maxHelloBytes)
+		if len(raw) > maxHelloBytes {
+			t.Fatalf("readLineLimit returned %d bytes past its %d cap", len(raw), maxHelloBytes)
+		}
+		if err != nil {
+			return // oversized or unterminated line: rejected before JSON
+		}
+		var h Hello
+		if json.Unmarshal(raw, &h) != nil {
+			return // malformed hello: rejected with bad_hello
+		}
+		if err := h.Validate(); err != nil {
+			return // out-of-range radio parameters: rejected with bad_hello
+		}
+		// Accepted: the hello must survive re-encoding still acceptable.
+		out, err := json.Marshal(h)
+		if err != nil {
+			t.Fatalf("accepted hello %+v does not marshal: %v", h, err)
+		}
+		var h2 Hello
+		if err := json.Unmarshal(out, &h2); err != nil {
+			t.Fatalf("round-trip unmarshal of %s: %v", out, err)
+		}
+		if err := h2.Validate(); err != nil {
+			t.Fatalf("hello %+v valid before round-trip, invalid after: %v", h, err)
+		}
+	})
+}

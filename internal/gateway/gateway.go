@@ -6,7 +6,16 @@
 // Protocol: the client first sends a single JSON header line declaring the
 // radio parameters, then streams raw IQ bytes. The server answers with
 // JSON lines (Report) as packets decode, and closes after the client
-// half-closes and the final flush completes.
+// half-closes and the final flush completes. Protocol violations and
+// resource-limit verdicts are answered with a one-line JSON error object
+// carrying a machine-readable code (see GatewayError) before the close.
+//
+// The server is hardened for adversarial clients: every read and write
+// carries a deadline, the opening hello line is length-capped, each
+// connection's sample intake can be capped, and new connections past a
+// configurable budget are shed with a typed "overloaded" reply. Every
+// degradation increments a gateway metric and emits an internal/obs
+// connection event, so chaos runs are attributable from the trace stream.
 package gateway
 
 import (
@@ -20,6 +29,8 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tnb/internal/core"
 	"tnb/internal/lora"
@@ -77,6 +88,13 @@ type Report struct {
 	Trace *obs.Summary `json:"trace,omitempty"`
 }
 
+// Default per-operation I/O deadlines and the hello line-length cap.
+const (
+	DefaultReadTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+	maxHelloBytes       = 1 << 12
+)
+
 // Server decodes LoRa IQ streams for its clients.
 type Server struct {
 	// Log receives structured connection-level diagnostics with
@@ -98,10 +116,33 @@ type Server struct {
 	// gateway serving many concurrent connections may prefer 1 so each
 	// connection stays on one core.
 	Workers int
+	// ReadTimeout bounds every network read; a client that stalls longer
+	// is dropped and counted. 0 selects DefaultReadTimeout; negative
+	// disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds every reply write; a client that stops draining
+	// reports is dropped and counted. 0 selects DefaultWriteTimeout;
+	// negative disables the deadline.
+	WriteTimeout time.Duration
+	// MaxSamplesPerConn caps the IQ samples one connection may stream.
+	// Past the cap the server replies {"code":"sample_limit"} and closes.
+	// 0 means unlimited.
+	MaxSamplesPerConn int64
+	// MaxConns is the overload-shedding budget: a connection accepted
+	// while MaxConns others are already open is answered with
+	// {"code":"overloaded"} and closed before any receiver state is
+	// built. 0 means unlimited.
+	MaxConns int
+	// MaxBufferSamples overrides the per-connection decode-buffer ceiling
+	// (stream.Config.MaxBufferSamples semantics).
+	MaxBufferSamples int
 
-	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	active   atomic.Int64
+	shutdown atomic.Bool
 
 	metOnce sync.Once
 	met     *Metrics
@@ -124,8 +165,43 @@ func (s *Server) instruments() (*Metrics, *core.PipelineMetrics, *stream.Metrics
 	return s.met, s.pmet, s.smet
 }
 
-// Serve accepts connections on ln until the context is canceled or the
-// listener fails. It blocks; use Shutdown or cancel the context to stop.
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout == 0 {
+		return DefaultReadTimeout
+	}
+	if s.ReadTimeout < 0 {
+		return 0
+	}
+	return s.ReadTimeout
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout == 0 {
+		return DefaultWriteTimeout
+	}
+	if s.WriteTimeout < 0 {
+		return 0
+	}
+	return s.WriteTimeout
+}
+
+// track registers/unregisters a live connection for Shutdown's force-close.
+func (s *Server) track(conn net.Conn, on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	if on {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Serve accepts connections on ln until the context is canceled, Shutdown
+// is called, or the listener fails. It blocks, and on the way out waits for
+// every in-flight connection to finish its decodes (the drain).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
@@ -139,20 +215,55 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.wg.Wait()
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || s.shutdown.Load() {
 				return nil
 			}
 			return err
 		}
 		s.wg.Add(1)
+		s.active.Add(1)
+		s.track(conn, true)
 		go func() {
 			defer s.wg.Done()
+			defer s.active.Add(-1)
+			defer s.track(conn, false)
 			defer conn.Close()
 			log := s.logger().With("remote", conn.RemoteAddr().String())
 			if err := s.handle(conn, log); err != nil && !errors.Is(err, io.EOF) {
 				log.Error("connection failed", "err", err)
 			}
 		}()
+	}
+}
+
+// Shutdown stops accepting and drains in-flight connections: it blocks
+// until every handler has finished (flushing its final decodes) or the
+// context expires, at which point lingering connections are force-closed
+// and their handlers reaped. Safe to call concurrently with Serve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdown.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
 	}
 }
 
@@ -166,29 +277,101 @@ func (s *Server) logger() *slog.Logger {
 	return discardLog
 }
 
+// deadlineConn arms a fresh deadline before every read and write, so the
+// per-operation timeouts apply to idle time, not total connection life.
+type deadlineConn struct {
+	net.Conn
+	read, write time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.read > 0 {
+		c.SetReadDeadline(time.Now().Add(c.read))
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.write > 0 {
+		c.SetWriteDeadline(time.Now().Add(c.write))
+	}
+	return c.Conn.Write(p)
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// readLineLimit reads one newline-terminated line of at most max bytes;
+// longer lines fail instead of buffering without bound.
+func readLineLimit(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > max {
+			return nil, fmt.Errorf("line exceeds %d bytes", max)
+		}
+		if err == nil {
+			return line, nil
+		}
+		if !errors.Is(err, bufio.ErrBufferFull) {
+			return line, err
+		}
+	}
+}
+
 // handle runs one client connection.
 func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 	met, pmet, smet := s.instruments()
 	met.onConnOpen()
 	defer met.onConnClose()
 
-	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriter(conn)
+	remote := conn.RemoteAddr().String()
+	dc := &deadlineConn{Conn: conn, read: s.readTimeout(), write: s.writeTimeout()}
+	br := bufio.NewReaderSize(dc, 1<<16)
+	bw := bufio.NewWriter(dc)
 	enc := json.NewEncoder(bw)
 
-	// reject sends the client a one-line JSON error object before the
-	// connection closes, so misconfigured clients fail loudly at the hello
-	// instead of silently mid-stream.
+	// replyErr sends the one-line typed JSON error object; the connection
+	// closes right after, so misbehaving clients fail loudly with a code
+	// they can switch on instead of a silent drop.
+	replyErr := func(code, msg string) {
+		enc.Encode(GatewayError{Code: code, Message: msg})
+		bw.Flush()
+	}
+
+	// Overload shedding: past the connection budget, refuse before any
+	// receiver state is built. s.active includes this connection.
+	if s.MaxConns > 0 && s.active.Load() > int64(s.MaxConns) {
+		met.onOverloadShed()
+		s.Tracer.OnConn(obs.ConnOverloadShed, remote, "")
+		log.Warn("connection shed", "budget", s.MaxConns)
+		replyErr(CodeOverloaded, fmt.Sprintf("server at its %d-connection budget, retry with backoff", s.MaxConns))
+		return nil
+	}
+
+	// reject drops the client at the hello line with a typed reply.
 	reject := func(err error) error {
 		met.onHelloRejected()
-		enc.Encode(map[string]string{"error": err.Error()})
-		bw.Flush()
+		s.Tracer.OnConn(obs.ConnHelloRejected, remote, err.Error())
+		replyErr(CodeBadHello, err.Error())
 		return err
 	}
 
-	line, err := br.ReadBytes('\n')
+	line, err := readLineLimit(br, maxHelloBytes)
 	if err != nil {
-		return fmt.Errorf("reading hello: %w", err)
+		if isTimeout(err) {
+			met.onReadTimeout()
+			s.Tracer.OnConn(obs.ConnReadTimeout, remote, "reading hello")
+			return fmt.Errorf("reading hello: %w", err)
+		}
+		if errors.Is(err, io.EOF) {
+			return io.EOF // connected and left without a word; not an error
+		}
+		return reject(fmt.Errorf("reading hello: %w", err))
 	}
 	var hello Hello
 	if err := json.Unmarshal(line, &hello); err != nil {
@@ -212,8 +395,9 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 	}
 
 	st, err := stream.New(stream.Config{
-		Receiver: core.Config{Params: params, UseBEC: useBEC, Workers: s.Workers, Metrics: pmet, Tracer: tracer},
-		Metrics:  smet,
+		Receiver:         core.Config{Params: params, UseBEC: useBEC, Workers: s.Workers, Metrics: pmet, Tracer: tracer},
+		MaxBufferSamples: s.MaxBufferSamples,
+		Metrics:          smet,
 	})
 	if err != nil {
 		return err
@@ -246,10 +430,29 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 		return bw.Flush()
 	}
 
+	// classify attributes a mid-stream failure: deadline expiries and
+	// transport deaths get their own counters and obs events so injected
+	// faults stay distinguishable in the exported state.
+	classify := func(err error, writing bool) error {
+		switch {
+		case isTimeout(err) && writing:
+			met.onWriteTimeout()
+			s.Tracer.OnConn(obs.ConnWriteTimeout, remote, err.Error())
+		case isTimeout(err):
+			met.onReadTimeout()
+			s.Tracer.OnConn(obs.ConnReadTimeout, remote, err.Error())
+		default:
+			met.onClientAbort()
+			s.Tracer.OnConn(obs.ConnClientAbort, remote, err.Error())
+		}
+		return err
+	}
+
 	// Read raw IQ: 4 bytes per sample (int16 I, int16 Q, little endian).
 	const chunkSamples = 1 << 16
 	raw := make([]byte, 4*chunkSamples)
 	samples := make([]complex128, 0, chunkSamples)
+	var samplesFed int64
 	for {
 		n, err := io.ReadFull(br, raw)
 		if n > 0 {
@@ -262,15 +465,37 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 				im := int16(binary.LittleEndian.Uint16(raw[i+2 : i+4]))
 				samples = append(samples, complex(float64(re)/4096, float64(im)/4096))
 			}
+			samplesFed += int64(len(samples))
+			if s.MaxSamplesPerConn > 0 && samplesFed > s.MaxSamplesPerConn {
+				met.onSampleLimit()
+				s.Tracer.OnConn(obs.ConnSampleLimit, remote,
+					fmt.Sprintf("fed %d samples, cap %d", samplesFed, s.MaxSamplesPerConn))
+				log.Warn("sample cap exceeded", "cap", s.MaxSamplesPerConn)
+				replyErr(CodeSampleLimit, fmt.Sprintf("connection exceeded its %d-sample cap", s.MaxSamplesPerConn))
+				return nil
+			}
 			if err := emit(st.Feed(samples)); err != nil {
-				return err
+				var oe *stream.OverflowError
+				if errors.As(err, &oe) {
+					met.onStreamOverflow()
+					s.Tracer.OnConn(obs.ConnStreamOverflow, remote, oe.Error())
+					replyErr(CodeStreamOverflow, oe.Error())
+					return nil
+				}
+				return classify(err, true)
 			}
 		}
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return emit(st.Flush())
+				// Clean end of stream (half-close), possibly mid-quad: a
+				// truncated trailing sample is dropped, the buffered tail
+				// is flushed and the final reports are emitted.
+				if err := emit(st.Flush()); err != nil {
+					return classify(err, true)
+				}
+				return nil
 			}
-			return err
+			return classify(err, false)
 		}
 	}
 }
@@ -305,79 +530,4 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	}
 	s.logger().Info("gateway listening", "addr", ln.Addr().String())
 	return s.Serve(ctx, ln)
-}
-
-// Client streams IQ samples to a gateway and collects reports.
-type Client struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	dec  *json.Decoder
-}
-
-// Dial connects to a gateway and sends the hello line.
-func Dial(addr string, hello Hello) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{conn: conn, bw: bufio.NewWriter(conn), dec: json.NewDecoder(conn)}
-	hb, err := json.Marshal(hello)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	hb = append(hb, '\n')
-	if _, err := c.bw.Write(hb); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return c, c.bw.Flush()
-}
-
-// Send streams samples as int16 IQ.
-func (c *Client) Send(samples []complex128) error {
-	var quad [4]byte
-	for _, v := range samples {
-		binary.LittleEndian.PutUint16(quad[0:2], uint16(clampI16(real(v)*4096)))
-		binary.LittleEndian.PutUint16(quad[2:4], uint16(clampI16(imag(v)*4096)))
-		if _, err := c.bw.Write(quad[:]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Finish flushes, half-closes the write side and drains all reports until
-// the server closes the connection.
-func (c *Client) Finish() ([]Report, error) {
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
-	}
-	if tc, ok := c.conn.(*net.TCPConn); ok {
-		if err := tc.CloseWrite(); err != nil {
-			return nil, err
-		}
-	}
-	var out []Report
-	for {
-		var r Report
-		if err := c.dec.Decode(&r); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, c.conn.Close()
-}
-
-func clampI16(v float64) int16 {
-	if v > 32767 {
-		return 32767
-	}
-	if v < -32768 {
-		return -32768
-	}
-	return int16(v)
 }

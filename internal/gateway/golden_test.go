@@ -1,0 +1,195 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tnb/internal/lora"
+	"tnb/internal/trace"
+)
+
+// updateGolden regenerates the committed traces and expectations:
+//
+//	go test ./internal/gateway -run TestGatewayGolden -update
+var updateGolden = flag.Bool("update", false, "regenerate golden IQ traces and expected reports")
+
+// goldenCase pins one committed trace. The IQ bytes and the expected
+// report lines live under testdata/golden/; the builder parameters here
+// only matter in -update mode.
+type goldenCase struct {
+	name string
+	seed int64
+	n    int // packets scheduled in the trace
+	sf   int
+	osf  int
+	dur  float64
+}
+
+var goldenCases = []goldenCase{
+	// Two clean packets, the everyday case.
+	{name: "sf8_two_packets", seed: 940, n: 2, sf: 8, osf: 2, dur: 0.35},
+	// Three packets in the same span: collisions resolved by peak
+	// matching, the paper's core scenario.
+	{name: "sf8_collision", seed: 941, n: 3, sf: 8, osf: 2, dur: 0.4},
+}
+
+// TestGatewayGolden replays the committed IQ traces through a live gateway
+// at several worker-pool widths and requires the emitted report stream to
+// match the committed expectation byte for byte. Any drift in the DSP
+// chain, the BEC decoder, report field encoding, or worker scheduling
+// determinism fails here first.
+func TestGatewayGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			iqPath := filepath.Join("testdata", "golden", tc.name+".iq")
+			wantPath := filepath.Join("testdata", "golden", tc.name+".json")
+
+			if *updateGolden {
+				writeGolden(t, tc, iqPath, wantPath)
+			}
+
+			f, err := os.Open(iqPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			p := lora.MustParams(tc.sf, 4, 125e3, tc.osf)
+			tr, err := trace.ReadIQ16(f, p.SampleRate())
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(wantPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+
+			for _, workers := range []int{1, 2, 4} {
+				got := decodeGolden(t, tc, workers, tr.Antennas[0])
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: report stream drifted from %s\ngot:\n%swant:\n%s",
+						workers, wantPath, got, want)
+				}
+			}
+		})
+	}
+}
+
+// decodeGolden runs one trace through a loopback gateway with the given
+// worker-pool width and returns the canonical serialization of its reports.
+func decodeGolden(t *testing.T, tc goldenCase, workers int, samples []complex128) []byte {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Log: testLogger(t), Workers: workers}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("golden server did not stop")
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), Hello{SF: tc.sf, CR: 4, OSF: tc.osf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(samples); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marshalReports(t, reports)
+}
+
+// marshalReports renders reports exactly as committed: one JSON line each.
+func marshalReports(t *testing.T, reports []Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range reports {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// writeGolden rebuilds one committed trace and its expectation from the
+// deterministic builder. The expectation is produced by the serial decode
+// (workers=1); the test then proves the parallel widths agree with it.
+func writeGolden(t *testing.T, tc goldenCase, iqPath, wantPath string) {
+	t.Helper()
+	p := lora.MustParams(tc.sf, 4, 125e3, tc.osf)
+	rng := rand.New(rand.NewSource(tc.seed))
+	b := trace.NewBuilder(p, tc.dur, 1, rng)
+	starts := b.ScheduleUniform(tc.n, 14)
+	for i, s := range starts {
+		payload := make([]uint8, 14)
+		rng.Read(payload)
+		if err := b.AddPacket(i, 0, payload, s, 10, -3000+float64(i)*1500, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, recs := b.Build()
+	if err := os.MkdirAll(filepath.Dir(iqPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(iqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteIQ16(f, tr); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode what was just written (not the in-memory float trace): the
+	// expectation must match the quantized bytes future runs will read.
+	rf, err := os.Open(iqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := trace.ReadIQ16(rf, p.SampleRate())
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeGolden(t, tc, 1, rt.Antennas[0])
+	if err := os.WriteFile(wantPath, got, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: an expectation that decodes nothing would freeze a broken
+	// baseline into the repo.
+	var reports int
+	for _, line := range bytes.Split(bytes.TrimSpace(got), []byte("\n")) {
+		if len(line) > 0 {
+			reports++
+		}
+	}
+	if reports < tc.n-1 {
+		t.Fatalf("golden %s decoded %d/%d packets; pick a friendlier seed", tc.name, reports, tc.n)
+	}
+	fmt.Printf("golden %s: %d samples, %d/%d packets decoded\n",
+		tc.name, len(rt.Antennas[0]), reports, len(recs))
+}

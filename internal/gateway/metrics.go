@@ -13,6 +13,12 @@ type Metrics struct {
 	HelloRejected     *metrics.Counter // connections dropped at the hello line
 	BytesIn           *metrics.Counter // raw IQ bytes read from clients
 	ReportsOut        *metrics.Counter // decoded-packet reports written
+	OverloadShed      *metrics.Counter // connections refused at the connection budget
+	SampleLimit       *metrics.Counter // connections closed at the per-conn sample cap
+	ReadTimeouts      *metrics.Counter // connections dropped by the read deadline
+	WriteTimeouts     *metrics.Counter // connections dropped by the write deadline
+	ClientAborts      *metrics.Counter // transports that died mid-stream (reset/broken pipe)
+	StreamOverflow    *metrics.Counter // connections closed at the decode-buffer ceiling
 }
 
 // NewMetrics registers the gateway instruments on reg. Registration is
@@ -25,6 +31,12 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		HelloRejected:     reg.Counter("tnb_gateway_hello_rejected_total"),
 		BytesIn:           reg.Counter("tnb_gateway_bytes_in_total"),
 		ReportsOut:        reg.Counter("tnb_gateway_reports_out_total"),
+		OverloadShed:      reg.Counter("tnb_gateway_overload_shed_total"),
+		SampleLimit:       reg.Counter("tnb_gateway_sample_limit_total"),
+		ReadTimeouts:      reg.Counter("tnb_gateway_read_timeouts_total"),
+		WriteTimeouts:     reg.Counter("tnb_gateway_write_timeouts_total"),
+		ClientAborts:      reg.Counter("tnb_gateway_client_aborts_total"),
+		StreamOverflow:    reg.Counter("tnb_gateway_stream_overflow_total"),
 	}
 }
 
@@ -67,5 +79,41 @@ func (m *Metrics) onBytesIn(n int) {
 func (m *Metrics) onReports(n int) {
 	if m != nil {
 		m.ReportsOut.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) onOverloadShed() {
+	if m != nil {
+		m.OverloadShed.Inc()
+	}
+}
+
+func (m *Metrics) onSampleLimit() {
+	if m != nil {
+		m.SampleLimit.Inc()
+	}
+}
+
+func (m *Metrics) onReadTimeout() {
+	if m != nil {
+		m.ReadTimeouts.Inc()
+	}
+}
+
+func (m *Metrics) onWriteTimeout() {
+	if m != nil {
+		m.WriteTimeouts.Inc()
+	}
+}
+
+func (m *Metrics) onClientAbort() {
+	if m != nil {
+		m.ClientAborts.Inc()
+	}
+}
+
+func (m *Metrics) onStreamOverflow() {
+	if m != nil {
+		m.StreamOverflow.Inc()
 	}
 }

@@ -63,7 +63,49 @@ const (
 	TypePacket = "packet"
 	TypeDetect = "detect"
 	TypeStream = "stream"
+	TypeConn   = "conn"
 )
+
+// Connection-level event reasons: how a gateway connection degraded or
+// died. Where FailureReason explains one packet, these explain one client —
+// every fault the ingest path survives maps to exactly one of them, so a
+// chaos run is attributable from the trace stream alone.
+const (
+	// ConnReadTimeout: the client stalled past the read deadline.
+	ConnReadTimeout = "read_timeout"
+	// ConnWriteTimeout: the client stopped draining replies past the
+	// write deadline.
+	ConnWriteTimeout = "write_timeout"
+	// ConnHelloRejected: the opening hello line was unparseable or out of
+	// range (covers corrupted hello bytes).
+	ConnHelloRejected = "hello_rejected"
+	// ConnOverloadShed: the server refused the connection at its
+	// connection budget before building a receiver.
+	ConnOverloadShed = "overload_shed"
+	// ConnSampleLimit: the client exceeded the per-connection sample cap.
+	ConnSampleLimit = "sample_limit"
+	// ConnStreamOverflow: the decode buffer hit its hard ceiling.
+	ConnStreamOverflow = "stream_overflow"
+	// ConnClientAbort: the transport died mid-stream (reset, broken pipe)
+	// without the protocol's half-close.
+	ConnClientAbort = "client_abort"
+)
+
+// ConnEvents lists the connection-event taxonomy, for validation.
+var ConnEvents = []string{
+	ConnReadTimeout, ConnWriteTimeout, ConnHelloRejected, ConnOverloadShed,
+	ConnSampleLimit, ConnStreamOverflow, ConnClientAbort,
+}
+
+// ConnEvent records one gateway connection-level failure or degradation.
+type ConnEvent struct {
+	Type  string `json:"type"` // TypeConn
+	Event string `json:"event"`
+	// Remote is the client address, when known.
+	Remote string `json:"remote,omitempty"`
+	// Detail carries the underlying error text.
+	Detail string `json:"detail,omitempty"`
+}
 
 // Detection holds the packet's synchronization estimate (paper §7): the
 // integer and fractional start time, the CFO, and the preamble-derived

@@ -33,12 +33,13 @@ type Tracer struct {
 	packets  uint64
 	decoded  uint64
 	failures map[FailureReason]uint64
+	conns    map[string]uint64
 }
 
 // New builds a Tracer. Both options may be zero: the Tracer then only
 // counts, which is still useful for FailureCounts.
 func New(o Options) *Tracer {
-	t := &Tracer{failures: make(map[FailureReason]uint64)}
+	t := &Tracer{failures: make(map[FailureReason]uint64), conns: make(map[string]uint64)}
 	if o.Sink != nil {
 		t.enc = json.NewEncoder(o.Sink)
 	}
@@ -134,6 +135,39 @@ func (t *Tracer) OnStream(event string, absStart float64) {
 			t.enc = nil
 		}
 	}
+}
+
+// OnConn exports and counts one gateway connection-level event. The event
+// should be one of the ConnEvents taxonomy; unknown events are still
+// exported (they fail ValidateJSONL, which is the point — the taxonomy and
+// the emitters are kept in sync by the schema check).
+func (t *Tracer) OnConn(event, remote, detail string) {
+	if t == nil {
+		return
+	}
+	ev := ConnEvent{Type: TypeConn, Event: event, Remote: remote, Detail: detail}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.conns[event]++
+	if t.enc != nil {
+		if err := t.enc.Encode(ev); err != nil {
+			t.enc = nil
+		}
+	}
+}
+
+// ConnCounts returns the per-event connection-failure tallies.
+func (t *Tracer) ConnCounts() map[string]uint64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(map[string]uint64, len(t.conns))
+	for k, v := range t.conns {
+		m[k] = v
+	}
+	return m
 }
 
 // SetAbsStart backfills the stream-absolute start on a finished trace.

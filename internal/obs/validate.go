@@ -39,11 +39,22 @@ func ValidateRecord(line []byte) error {
 			return fmt.Errorf("stream record: %w", err)
 		}
 		switch ev.Event {
-		case "deferred", "dedup", "flush":
+		case "deferred", "dedup", "flush", "sanitized":
 			return nil
 		default:
 			return fmt.Errorf("stream record: unknown event %q", ev.Event)
 		}
+	case TypeConn:
+		var ev ConnEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("conn record: %w", err)
+		}
+		for _, k := range ConnEvents {
+			if ev.Event == k {
+				return nil
+			}
+		}
+		return fmt.Errorf("conn record: unknown event %q", ev.Event)
 	case "":
 		return fmt.Errorf("record has no \"type\" field")
 	default:

@@ -14,6 +14,8 @@ type Metrics struct {
 	DeferredPackets *metrics.Counter // decodes pushed to the next window (overlap re-scan)
 	DedupSuppressed *metrics.Counter // duplicate decodes dropped across overlaps
 	BufferSamples   *metrics.Gauge   // samples currently buffered
+	Overflows       *metrics.Counter // Feed chunks rejected at the buffer ceiling
+	NonFinite       *metrics.Counter // NaN/Inf samples zeroed before decoding
 }
 
 // NewMetrics registers the streamer instruments on reg.
@@ -24,6 +26,8 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		DeferredPackets: reg.Counter("tnb_stream_deferred_packets_total"),
 		DedupSuppressed: reg.Counter("tnb_stream_dedup_suppressed_total"),
 		BufferSamples:   reg.Gauge("tnb_stream_buffer_samples"),
+		Overflows:       reg.Counter("tnb_stream_overflow_total"),
+		NonFinite:       reg.Counter("tnb_stream_nonfinite_samples_total"),
 	}
 }
 
@@ -65,5 +69,17 @@ func (m *Metrics) onDedup() {
 func (m *Metrics) setBuffer(n int) {
 	if m != nil {
 		m.BufferSamples.Set(int64(n))
+	}
+}
+
+func (m *Metrics) onOverflow() {
+	if m != nil {
+		m.Overflows.Inc()
+	}
+}
+
+func (m *Metrics) onNonFinite(n int) {
+	if m != nil {
+		m.NonFinite.Add(uint64(n))
 	}
 }

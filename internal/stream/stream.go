@@ -12,6 +12,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"tnb/internal/core"
@@ -23,6 +24,22 @@ import (
 // another: a Streamer is a stateful single-stream decoder and must be
 // driven from one goroutine at a time.
 var ErrConcurrentUse = errors.New("stream: concurrent Feed/Flush call; Streamer is not safe for concurrent use")
+
+// OverflowError is returned by Feed when accepting a chunk would push the
+// sample buffer past its hard ceiling. The buffer is left untouched: the
+// caller can shrink its chunks, drop the stream, or (as the gateway does)
+// reply with a typed error instead of letting one client grow the process
+// without bound.
+type OverflowError struct {
+	Buffered int // samples already buffered
+	Incoming int // samples in the rejected chunk
+	Limit    int // the configured ceiling
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("stream: buffer overflow: %d buffered + %d incoming exceeds ceiling %d",
+		e.Buffered, e.Incoming, e.Limit)
+}
 
 // Decoded is a stream-level decode: a core decode with the stream-absolute
 // sample position.
@@ -48,6 +65,9 @@ type Streamer struct {
 	// carry-over that lets boundary packets be seen whole.
 	window  int
 	overlap int
+	// maxBuffer is the hard sample-buffer ceiling; Feed rejects chunks
+	// that would exceed it with an OverflowError. 0 disables the ceiling.
+	maxBuffer int
 
 	buf       []complex128
 	absBase   int // absolute sample index of buf[0]
@@ -65,6 +85,12 @@ type Config struct {
 	// WindowSamples is the processing block size (0 → 4× the maximum
 	// packet length).
 	WindowSamples int
+	// MaxBufferSamples is the hard ceiling on buffered samples. A Feed
+	// that would exceed it is rejected with a typed *OverflowError
+	// instead of growing the buffer. 0 selects 4× (window + overlap) —
+	// comfortably above steady state, which never exceeds
+	// window + overlap + one chunk; negative disables the ceiling.
+	MaxBufferSamples int
 	// Metrics receives streamer counters and the buffer-occupancy gauge;
 	// nil disables them. The receiver's own instruments are configured
 	// separately via Receiver.Metrics.
@@ -93,15 +119,26 @@ func New(cfg Config) (*Streamer, error) {
 	if window < overlap {
 		return nil, fmt.Errorf("stream: window %d smaller than overlap %d", window, overlap)
 	}
+	maxBuffer := cfg.MaxBufferSamples
+	switch {
+	case maxBuffer == 0:
+		maxBuffer = 4 * (window + overlap)
+	case maxBuffer < 0:
+		maxBuffer = 0
+	case maxBuffer < window+overlap:
+		return nil, fmt.Errorf("stream: buffer ceiling %d smaller than window+overlap %d",
+			maxBuffer, window+overlap)
+	}
 	return &Streamer{
-		rx:      core.NewReceiver(cfg.Receiver),
-		params:  p,
-		met:     cfg.Metrics,
-		tracer:  cfg.Receiver.Tracer,
-		window:  window,
-		overlap: overlap,
-		emitted: map[string]bool{},
-		maxEmit: 4096,
+		rx:        core.NewReceiver(cfg.Receiver),
+		params:    p,
+		met:       cfg.Metrics,
+		tracer:    cfg.Receiver.Tracer,
+		window:    window,
+		overlap:   overlap,
+		maxBuffer: maxBuffer,
+		emitted:   map[string]bool{},
+		maxEmit:   4096,
 	}, nil
 }
 
@@ -110,6 +147,9 @@ func (s *Streamer) WindowSamples() int { return s.window }
 
 // OverlapSamples returns the boundary carry-over length.
 func (s *Streamer) OverlapSamples() int { return s.overlap }
+
+// MaxBufferSamples returns the hard buffer ceiling (0 when disabled).
+func (s *Streamer) MaxBufferSamples() int { return s.maxBuffer }
 
 // Feed appends samples to the stream and returns any packets newly decoded
 // by processing passes this chunk completed. It returns ErrConcurrentUse if
@@ -120,7 +160,20 @@ func (s *Streamer) Feed(samples []complex128) ([]Decoded, error) {
 	}
 	defer s.inUse.Store(false)
 
+	if s.maxBuffer > 0 && len(s.buf)+len(samples) > s.maxBuffer {
+		s.met.onOverflow()
+		return nil, &OverflowError{Buffered: len(s.buf), Incoming: len(samples), Limit: s.maxBuffer}
+	}
+	at := len(s.buf)
 	s.buf = append(s.buf, samples...)
+	// Sanitize the appended region in place (the caller's slice is never
+	// touched): NaN/Inf samples would propagate through every FFT in the
+	// window and poison detection for well-behaved packets, so they are
+	// zeroed — a silence fault, the least damaging interpretation.
+	if n := zeroNonFinite(s.buf[at:]); n > 0 {
+		s.met.onNonFinite(n)
+		s.tracer.OnStream("sanitized", float64(s.absBase+at))
+	}
 	var out []Decoded
 	for len(s.buf) >= s.window+s.overlap {
 		out = append(out, s.process(s.window+s.overlap, float64(s.window))...)
@@ -193,4 +246,18 @@ func (s *Streamer) process(n int, commitBefore float64) []Decoded {
 // dedupKey identifies a decode: payload bytes plus a time cell.
 func dedupKey(payload []uint8, cell int) string {
 	return fmt.Sprintf("%x@%d", payload, cell)
+}
+
+// zeroNonFinite replaces NaN/±Inf samples with silence, returning how many
+// were hit.
+func zeroNonFinite(s []complex128) int {
+	n := 0
+	for i, v := range s {
+		re, im := real(v), imag(v)
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			s[i] = 0
+			n++
+		}
+	}
+	return n
 }
