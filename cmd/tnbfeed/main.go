@@ -27,6 +27,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7002", "gateway address")
 		sf        = flag.Int("sf", 8, "spreading factor of the trace")
+		channel   = flag.Int("channel", 0, "logical channel index for shard routing")
 		bw        = flag.Float64("bw", 125e3, "bandwidth in Hz")
 		osf       = flag.Int("osf", 8, "over-sampling factor")
 		retries   = flag.Int("retries", 4, "total attempts for transient failures (connect errors, overload shedding)")
@@ -49,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	hello := gateway.Hello{SF: *sf, CR: 4, Bandwidth: *bw, OSF: *osf}
+	hello := gateway.Hello{SF: *sf, CR: 4, Bandwidth: *bw, OSF: *osf, Channel: *channel}
 	reports, err := gateway.Stream(*addr, hello, tr.Antennas[0],
 		gateway.Backoff{Attempts: *retries, Base: *retryBase})
 	if err != nil {

@@ -1,0 +1,414 @@
+// tnbnet runs a simulated LoRaWAN deployment end to end: a seeded fleet
+// of duty-cycled, channel-hopping nodes heard by several gateways feeds
+// the network-server layer (cross-gateway dedup, OTAA joins, per-tenant
+// quotas), and every join, delivery and drop is emitted as a JSON line on
+// stdout. The whole run is a pure function of -seed: worker width and
+// batch size change wall-clock only, never bytes.
+//
+// Usage:
+//
+//	tnbnet -seed 1 -gateways 3 -nodes 8 -channels 1,3 -sfs 7,8
+//
+// By default the fleet hands the netserver ready-made LoRaWAN frames. With
+// -phy the data phase additionally goes through the radio: each gateway's
+// receptions are rendered to an IQ trace per (channel, SF) shard and
+// decoded by a real loopback gateway server (so the TnB receiver, the
+// shard routing and the netserver are exercised as one system). PHY mode
+// is CPU-heavy; keep -duration and -nodes small.
+//
+// With -metrics set, an HTTP ops endpoint serves:
+//
+//	GET /metrics      Prometheus text exposition
+//	GET /metrics.json the same registry as JSON
+//	GET /healthz      liveness
+//	GET /netserver    netserver stats (sessions, dedup, quotas, per-shard)
+//
+// -summary writes the final run report (activation, event and drop
+// counters, per-shard traffic) as JSON to a file, for scripts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tnb/internal/fleet"
+	"tnb/internal/gateway"
+	"tnb/internal/lora"
+	"tnb/internal/metrics"
+	"tnb/internal/netserver"
+	"tnb/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "fleet seed; every byte of output is a function of it")
+	nodes := flag.Int("nodes", 8, "simulated node count")
+	gateways := flag.Int("gateways", 2, "simulated gateway count")
+	channels := flag.String("channels", "1,3", "comma-separated uplink channel hop set")
+	sfs := flag.String("sfs", "7,8", "comma-separated spreading factors, assigned round-robin")
+	packets := flag.Int("packets", 3, "data uplinks per node across the run")
+	duration := flag.Float64("duration", 0, "traffic-phase span in seconds (0 = 30 frame mode, 4 PHY mode)")
+	corrupt := flag.Int("corrupt", 60, "per-copy in-flight corruption probability, permille")
+	phy := flag.Bool("phy", false, "render the data phase to IQ and decode it through a real loopback gateway per simulated gateway")
+	osf := flag.Int("osf", 2, "PHY oversampling factor")
+	workers := flag.Int("workers", 1, "verification/decode worker width (0 = all cores); output is identical for every value")
+	batch := flag.Int("batch", fleet.DefaultBatch, "uplinks per netserver Ingest call")
+	dedupWindow := flag.Float64("dedup-window", netserver.DefaultDedupWindowSec, "cross-gateway dedup window, seconds")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant delivery quota, deliveries/sec (0 = unlimited)")
+	quotaBurst := flag.Float64("quota-burst", 2, "per-tenant quota burst depth")
+	metricsAddr := flag.String("metrics", "", "HTTP ops listen address (e.g. :9091); empty disables")
+	summary := flag.String("summary", "", "write the final run report as JSON to this file")
+	quiet := flag.Bool("quiet", false, "suppress progress logs (events still go to stdout)")
+	flag.Parse()
+
+	logOut := io.Writer(os.Stderr)
+	if *quiet {
+		logOut = io.Discard
+	}
+	log := slog.New(slog.NewTextHandler(logOut, nil))
+	if err := run(log, config{
+		seed: *seed, nodes: *nodes, gateways: *gateways,
+		channels: *channels, sfs: *sfs, packets: *packets,
+		duration: *duration, corrupt: *corrupt,
+		phy: *phy, osf: *osf, workers: *workers, batch: *batch,
+		dedupWindow: *dedupWindow, quotaRate: *quotaRate, quotaBurst: *quotaBurst,
+		metricsAddr: *metricsAddr, summary: *summary,
+	}); err != nil {
+		log.Error("tnbnet failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	seed                               int64
+	nodes, gateways                    int
+	channels, sfs                      string
+	packets                            int
+	duration                           float64
+	corrupt                            int
+	phy                                bool
+	osf, workers, batch                int
+	dedupWindow, quotaRate, quotaBurst float64
+	metricsAddr, summary               string
+}
+
+func run(log *slog.Logger, cfg config) error {
+	chans, err := parseIntList(cfg.channels)
+	if err != nil {
+		return fmt.Errorf("-channels: %w", err)
+	}
+	sfList, err := parseIntList(cfg.sfs)
+	if err != nil {
+		return fmt.Errorf("-sfs: %w", err)
+	}
+	dur := cfg.duration
+	if dur == 0 {
+		dur = 30
+		if cfg.phy {
+			dur = 4
+		}
+	}
+
+	f, err := fleet.New(fleet.Config{
+		Seed: cfg.seed, Nodes: cfg.nodes, Gateways: cfg.gateways,
+		Channels: chans, SFs: sfList,
+		PacketsPerNode: cfg.packets, DurationSec: dur,
+		CorruptPermille: cfg.corrupt,
+	})
+	if err != nil {
+		return err
+	}
+
+	nsCfg := netserver.Config{
+		DedupWindowSec: cfg.dedupWindow,
+		Workers:        cfg.workers,
+		Devices:        f.Devices(),
+	}
+	if cfg.quotaRate > 0 {
+		nsCfg.Quotas = map[string]netserver.Quota{}
+		for _, d := range nsCfg.Devices {
+			nsCfg.Quotas[d.Tenant] = netserver.Quota{RatePerSec: cfg.quotaRate, Burst: cfg.quotaBurst}
+		}
+	}
+	if cfg.metricsAddr != "" {
+		nsCfg.Metrics = netserver.NewMetrics(metrics.Default)
+	}
+	ns, err := netserver.New(nsCfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if cfg.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", metrics.Handler(metrics.Default))
+		mux.Handle("/netserver", ns.Handler())
+		go func() {
+			log.Info("ops endpoint listening", "addr", cfg.metricsAddr,
+				"paths", "/metrics /metrics.json /healthz /netserver")
+			if err := metrics.ListenAndServeHandler(ctx, cfg.metricsAddr, mux); err != nil {
+				log.Error("ops endpoint failed", "err", err)
+			}
+		}()
+	}
+
+	out := json.NewEncoder(os.Stdout)
+	emit := func(ev netserver.Event) { out.Encode(ev) }
+
+	var rep fleet.Report
+	if cfg.phy {
+		rep, err = runPHY(log, f, ns, cfg, emit)
+	} else {
+		rep, err = fleet.Drive(f, ns, cfg.batch, emit)
+	}
+	if err != nil {
+		return err
+	}
+	log.Info("run complete",
+		"activated", rep.Activated, "events", rep.Events,
+		"uplinks", rep.Stats.Uplinks, "delivered", rep.Stats.Delivered,
+		"dups", rep.Stats.DupSuppressed, "dropped", rep.Stats.Dropped,
+		"quota_dropped", rep.Stats.QuotaDropped, "sessions", rep.Stats.Sessions)
+
+	if cfg.summary != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.summary, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPHY drives the join phase at the frame level (activation is control
+// plane), then pushes the data phase through the radio: per simulated
+// gateway, each (channel, SF) group of receptions is rendered to IQ and
+// decoded by a loopback gateway server — landing on that server's
+// (channel, SF) shard — before the reports are handed to the netserver.
+func runPHY(log *slog.Logger, f *fleet.Fleet, ns *netserver.Server, cfg config, emit func(netserver.Event)) (fleet.Report, error) {
+	var rep fleet.Report
+	sink := func(evs []netserver.Event) []netserver.Event {
+		rep.Events += len(evs)
+		for _, ev := range evs {
+			emit(ev)
+		}
+		return evs
+	}
+
+	// Join phase: frames straight into the netserver.
+	joins, err := f.JoinRequests()
+	if err != nil {
+		return rep, err
+	}
+	evs, err := ns.Ingest(joins)
+	if err != nil {
+		return rep, err
+	}
+	joinEvs := sink(evs)
+	evs, err = ns.AdvanceTo(f.TrafficStartSec())
+	if err != nil {
+		return rep, err
+	}
+	joinEvs = append(joinEvs, sink(evs)...)
+	if rep.Activated, err = f.ApplyJoinAccepts(joinEvs); err != nil {
+		return rep, err
+	}
+
+	// Data phase: group receptions per (gateway, channel, SF), render each
+	// group to IQ, decode it through that gateway's loopback server.
+	traffic, err := f.Traffic()
+	if err != nil {
+		return rep, err
+	}
+	groups := map[groupKey][]netserver.Uplink{}
+	for _, u := range traffic {
+		k := groupKey{gw: u.GatewayID, ch: u.Channel, sf: u.SF}
+		groups[k] = append(groups[k], u)
+	}
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+
+	servers := map[string]*gwServer{}
+	defer func() {
+		for _, s := range servers {
+			s.stop()
+		}
+	}()
+	var decoded []netserver.Uplink
+	for _, k := range keys {
+		srv := servers[k.gw]
+		if srv == nil {
+			srv, err = startGateway(log, cfg.workers)
+			if err != nil {
+				return rep, err
+			}
+			servers[k.gw] = srv
+		}
+		ups, err := decodeGroup(f, srv, k, groups[k], cfg.osf)
+		if err != nil {
+			return rep, fmt.Errorf("phy %s c%d sf%d: %w", k.gw, k.ch, k.sf, err)
+		}
+		log.Info("phy shard decoded", "gateway", k.gw, "channel", k.ch, "sf", k.sf,
+			"sent", len(groups[k]), "decoded", len(ups))
+		decoded = append(decoded, ups...)
+	}
+	for gw, s := range servers {
+		log.Info("gateway shards", "gateway", gw, "shards", s.srv.ShardCount())
+	}
+
+	fleet.SortUplinks(decoded)
+	for len(decoded) > 0 {
+		n := cfg.batch
+		if n > len(decoded) {
+			n = len(decoded)
+		}
+		evs, err := ns.Ingest(decoded[:n])
+		if err != nil {
+			return rep, err
+		}
+		sink(evs)
+		decoded = decoded[n:]
+	}
+	evs, err = ns.Flush()
+	if err != nil {
+		return rep, err
+	}
+	sink(evs)
+	rep.Stats = ns.Stats()
+	return rep, nil
+}
+
+type groupKey struct {
+	gw     string
+	ch, sf int
+}
+
+func (k groupKey) less(o groupKey) bool {
+	if k.gw != o.gw {
+		return k.gw < o.gw
+	}
+	if k.ch != o.ch {
+		return k.ch < o.ch
+	}
+	return k.sf < o.sf
+}
+
+// gwServer is one loopback gateway instance standing in for a physical
+// gateway: every (channel, SF) connection lands on its own decode shard.
+type gwServer struct {
+	srv    *gateway.Server
+	addr   string
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func startGateway(log *slog.Logger, workers int) (*gwServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &gwServer{
+		srv:    &gateway.Server{Log: log, Workers: workers},
+		addr:   ln.Addr().String(),
+		cancel: cancel,
+		done:   make(chan error, 1),
+	}
+	go func() { s.done <- s.srv.Serve(ctx, ln) }()
+	return s, nil
+}
+
+func (s *gwServer) stop() {
+	s.cancel()
+	<-s.done
+}
+
+// decodeGroup renders one (gateway, channel, SF) group of receptions to an
+// IQ trace and decodes it through the gateway's shard for that key.
+func decodeGroup(f *fleet.Fleet, srv *gwServer, k groupKey, ups []netserver.Uplink, osf int) ([]netserver.Uplink, error) {
+	p, err := lora.NewParams(k.sf, 4, 125e3, osf)
+	if err != nil {
+		return nil, err
+	}
+	t0 := f.TrafficStartSec()
+	span := 1.0
+	for _, u := range ups {
+		if s := u.TimeSec - t0; s > span {
+			span = s
+		}
+	}
+	// Deterministic per-group noise/phase seed.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", k.gw, k.ch, k.sf)
+	rng := rand.New(rand.NewSource(int64(h.Sum64()>>1) ^ 0x5EED))
+
+	b := trace.NewBuilder(p, span+1.0, 1, rng)
+	for i, u := range ups {
+		start := (u.TimeSec - t0) * p.SampleRate()
+		if err := b.AddPacket(i, 0, u.Payload, start, u.SNRdB, 0, nil); err != nil {
+			return nil, err
+		}
+	}
+	tr, _ := b.Build()
+
+	c, err := gateway.Dial(srv.addr, gateway.Hello{SF: k.sf, CR: 4, OSF: osf, Channel: k.ch})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Send(tr.Antennas[0]); err != nil {
+		return nil, err
+	}
+	reports, err := c.Finish()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]netserver.Uplink, 0, len(reports))
+	for _, r := range reports {
+		out = append(out, netserver.Uplink{
+			GatewayID: k.gw,
+			Channel:   r.Channel,
+			SF:        k.sf,
+			TimeSec:   t0 + r.AbsStart/p.SampleRate(),
+			SNRdB:     r.SNRdB,
+			Payload:   r.Payload,
+		})
+	}
+	return out, nil
+}
+
+// parseIntList parses "1,3,8" into ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad element %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package fleet
+
+import "tnb/internal/netserver"
+
+// DefaultBatch is the uplink batch size Drive hands the netserver when the
+// caller passes 0.
+const DefaultBatch = 64
+
+// Report summarizes one Drive run.
+type Report struct {
+	Activated int             `json:"activated"` // nodes that completed OTAA
+	Events    int             `json:"events"`
+	Stats     netserver.Stats `json:"stats"`
+}
+
+// Drive runs the whole fleet lifecycle against ns: join phase (requests
+// ingested, windows closed, accepts applied device-side), then the data
+// phase in batches of batch uplinks, then a final flush. Every event is
+// passed to emit in order; emit may be nil. The emitted stream is a pure
+// function of the fleet seed and the netserver config — worker width and
+// batch size only change wall-clock, never bytes.
+func Drive(f *Fleet, ns *netserver.Server, batch int, emit func(netserver.Event)) (Report, error) {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	var rep Report
+	var joinPhase []netserver.Event
+	sink := func(evs []netserver.Event, collect bool) {
+		rep.Events += len(evs)
+		if collect {
+			joinPhase = append(joinPhase, evs...)
+		}
+		if emit != nil {
+			for _, ev := range evs {
+				emit(ev)
+			}
+		}
+	}
+	ingest := func(ups []netserver.Uplink, collect bool) error {
+		for len(ups) > 0 {
+			n := batch
+			if n > len(ups) {
+				n = len(ups)
+			}
+			evs, err := ns.Ingest(ups[:n])
+			if err != nil {
+				return err
+			}
+			sink(evs, collect)
+			ups = ups[n:]
+		}
+		return nil
+	}
+
+	joins, err := f.JoinRequests()
+	if err != nil {
+		return rep, err
+	}
+	if err := ingest(joins, true); err != nil {
+		return rep, err
+	}
+	// Close every join window before the devices look for their accepts.
+	evs, err := ns.AdvanceTo(f.TrafficStartSec())
+	if err != nil {
+		return rep, err
+	}
+	sink(evs, true)
+	if rep.Activated, err = f.ApplyJoinAccepts(joinPhase); err != nil {
+		return rep, err
+	}
+
+	traffic, err := f.Traffic()
+	if err != nil {
+		return rep, err
+	}
+	if err := ingest(traffic, false); err != nil {
+		return rep, err
+	}
+	evs, err = ns.Flush()
+	if err != nil {
+		return rep, err
+	}
+	sink(evs, false)
+	rep.Stats = ns.Stats()
+	return rep, nil
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tnb/internal/netserver"
+)
+
+// updateGolden regenerates the committed fleet traces:
+//
+//	go test ./internal/fleet -run TestFleetGolden -update
+var updateGolden = flag.Bool("update", false, "regenerate golden fleet event streams")
+
+// goldenFleet is the committed scenario: enough nodes and gateways for
+// cross-gateway dedup, corruption for the drop taxonomy, and a quota tight
+// enough that one tenant hits it.
+func goldenFleet() (Config, netserver.Config) {
+	fc := Config{
+		Seed:            4242,
+		Nodes:           8,
+		Gateways:        3,
+		Channels:        []int{1, 3},
+		SFs:             []int{7, 8},
+		PacketsPerNode:  3,
+		DurationSec:     30,
+		CorruptPermille: 60,
+	}
+	nc := netserver.Config{
+		Quotas: map[string]netserver.Quota{"tenant-1": {RatePerSec: 0.2, Burst: 2}},
+	}
+	return fc, nc
+}
+
+// runGolden drives the committed scenario at one worker width and returns
+// the event stream as JSON lines plus the run report.
+func runGolden(t *testing.T, workers, batch int) ([]byte, Report) {
+	t.Helper()
+	fc, nc := goldenFleet()
+	f, err := New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Devices = f.Devices()
+	nc.Workers = workers
+	ns, err := netserver.New(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	rep, err := Drive(f, ns, batch, func(ev netserver.Event) {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+// TestFleetGolden pins the end-to-end netserver behavior: the committed
+// scenario's full event stream (joins, dedup'd deliveries, drops, quota
+// hits) must match testdata/golden byte for byte at every worker width and
+// batch size. Any drift in the MAC crypto, the dedup window, quota math or
+// the two-phase commit order fails here first.
+func TestFleetGolden(t *testing.T) {
+	wantPath := filepath.Join("testdata", "golden", "fleet_seed4242.jsonl")
+
+	if *updateGolden {
+		got, rep := runGolden(t, 1, 0)
+		if err := os.MkdirAll(filepath.Dir(wantPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(wantPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("golden fleet: %d events, %d/%d nodes joined, %d delivered, %d dups, %d dropped, %d quota\n",
+			rep.Events, rep.Activated, 8, rep.Stats.Delivered, rep.Stats.DupSuppressed,
+			rep.Stats.Dropped, rep.Stats.QuotaDropped)
+	}
+
+	want, err := os.ReadFile(wantPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []int{0, 7} {
+			got, rep := runGolden(t, workers, batch)
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d batch=%d: event stream drifted from %s\ngot %d bytes, want %d",
+					workers, batch, wantPath, len(got), len(want))
+			}
+			// The scenario must stay interesting: a config change that
+			// silences dedup, drops or quotas would hollow out the pin.
+			if rep.Stats.DupSuppressed == 0 || rep.Stats.Dropped == 0 ||
+				rep.Stats.QuotaDropped == 0 || rep.Stats.Joins == 0 {
+				t.Errorf("workers=%d: golden scenario lost coverage: %+v", workers, rep.Stats)
+			}
+			if rep.Activated < 6 {
+				t.Errorf("workers=%d: only %d/8 nodes joined", workers, rep.Activated)
+			}
+		}
+	}
+}
+
+// TestFleetDeterministicConstruction: two fleets from the same seed are
+// identical; a different seed diverges.
+func TestFleetDeterministicConstruction(t *testing.T) {
+	fc, _ := goldenFleet()
+	a, err := New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := a.JoinRequests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JoinRequests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ja) != fmt.Sprint(jb) {
+		t.Error("same seed produced different join traffic")
+	}
+	fc.Seed++
+	c, err := New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := c.JoinRequests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ja) == fmt.Sprint(jc) {
+		t.Error("different seeds produced identical join traffic")
+	}
+}
+
+// TestFleetConfigRejects: invalid shapes fail at New.
+func TestFleetConfigRejects(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"negative_nodes":   {Nodes: -1},
+		"negative_channel": {Channels: []int{-2}},
+		"bad_duration":     {DurationSec: -5},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"tnb/internal/core"
 	"tnb/internal/metrics"
+	"tnb/internal/netserver"
 	"tnb/internal/stream"
 )
 
@@ -19,10 +20,14 @@ import (
 // `tnb_stage_duration_seconds{stage=...}` once for all stages.
 func TestMetricsDocumented(t *testing.T) {
 	reg := metrics.NewRegistry()
-	// The full instrumentation stack of a running gateway process.
+	// The full instrumentation stack of a running gateway process, plus the
+	// netserver layer and one probe shard so the labeled per-shard
+	// instruments register under their base names.
 	NewMetrics(reg)
 	stream.NewMetrics(reg)
 	core.NewPipelineMetrics(reg)
+	netserver.NewMetrics(reg)
+	NewShardMetrics(reg, ShardKey{Channel: 0, SF: 8})
 
 	registered := map[string]bool{}
 	for name := range reg.Snapshot() {

@@ -19,6 +19,9 @@ const (
 	CodeSampleLimit = "sample_limit"
 	// CodeStreamOverflow: the decode buffer hit its hard ceiling.
 	CodeStreamOverflow = "stream_overflow"
+	// CodeShardOverload: the (channel, SF) decode shard's queue stayed full
+	// past the grace period; retry with backoff or move to another channel.
+	CodeShardOverload = "shard_overload"
 )
 
 // GatewayError is the server's typed one-line JSON error reply, and the
@@ -34,8 +37,11 @@ func (e *GatewayError) Error() string {
 }
 
 // Retryable reports whether the verdict is a transient server condition
-// (today: overload shedding) rather than a client mistake.
-func (e *GatewayError) Retryable() bool { return e.Code == CodeOverloaded }
+// (overload shedding at the connection budget or at a shard queue) rather
+// than a client mistake.
+func (e *GatewayError) Retryable() bool {
+	return e.Code == CodeOverloaded || e.Code == CodeShardOverload
+}
 
 // parseErrorReply recognizes a server error line among report lines: any
 // JSON object with a non-empty "error" member. Returns nil for reports.

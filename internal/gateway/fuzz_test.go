@@ -8,10 +8,10 @@ import (
 )
 
 // FuzzHelloValidate replays arbitrary hello lines through the exact server
-// ingest path: bounded line read, JSON decode, Validate. Properties: no
-// panic, the line reader honors its cap, and an accepted hello survives a
-// marshal round-trip still valid (so a logged/forwarded hello cannot turn
-// invalid downstream).
+// ingest path: bounded line read, strict JSON decode (unknown members
+// rejected), Validate. Properties: no panic, the line reader honors its
+// cap, and an accepted hello survives a marshal round-trip still valid (so
+// a logged/forwarded hello cannot turn invalid downstream).
 func FuzzHelloValidate(f *testing.F) {
 	f.Add([]byte(`{"sf": 8, "cr": 4}` + "\n"))
 	f.Add([]byte(`{"sf": 99}` + "\n"))
@@ -21,6 +21,14 @@ func FuzzHelloValidate(f *testing.F) {
 	f.Add([]byte(`{"sf": 8, "osf": 1e308}` + "\n"))
 	f.Add([]byte("\n"))
 	f.Add([]byte{0xff, 0xfe, 0x00, '\n'})
+	// Channelized hellos: every (channel, SF) shard corner, the typo'd
+	// member the strict decoder must refuse, and out-of-range channels.
+	f.Add([]byte(`{"sf": 8, "channel": 0}` + "\n"))
+	f.Add([]byte(`{"sf": 12, "channel": 7}` + "\n"))
+	f.Add([]byte(`{"sf": 7, "channel": 8}` + "\n"))
+	f.Add([]byte(`{"sf": 7, "channel": -1}` + "\n"))
+	f.Add([]byte(`{"sf": 8, "chanel": 3}` + "\n"))
+	f.Add([]byte(`{"sf": 8, "channel": 3, "trace": true}{"sf": 9}` + "\n"))
 
 	f.Fuzz(func(t *testing.T, line []byte) {
 		br := bufio.NewReader(bytes.NewReader(line))
@@ -31,9 +39,9 @@ func FuzzHelloValidate(f *testing.F) {
 		if err != nil {
 			return // oversized or unterminated line: rejected before JSON
 		}
-		var h Hello
-		if json.Unmarshal(raw, &h) != nil {
-			return // malformed hello: rejected with bad_hello
+		h, err := ParseHello(raw)
+		if err != nil {
+			return // malformed or unknown-member hello: rejected with bad_hello
 		}
 		if err := h.Validate(); err != nil {
 			return // out-of-range radio parameters: rejected with bad_hello

@@ -20,6 +20,7 @@ package gateway
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -46,15 +47,19 @@ type Hello struct {
 	Bandwidth float64 `json:"bandwidth_hz,omitempty"`
 	OSF       int     `json:"osf,omitempty"`
 	UseBEC    *bool   `json:"use_bec,omitempty"` // default true
+	// Channel is the logical uplink channel this connection's samples were
+	// captured on, in [0, MaxChannels). It selects the (channel, SF) decode
+	// shard; the default 0 preserves the single-channel protocol.
+	Channel int `json:"channel,omitempty"`
 	// Trace requests a per-packet decode-trace summary on every report
 	// (sync score, ambiguous symbols, CRC tests — see obs.Summary).
 	Trace bool `json:"trace,omitempty"`
 }
 
 // Validate checks the hello's radio parameters before a receiver is built.
-// Zero values select defaults (CR 4, 125 kHz, OSF 8); anything else out of
-// range is rejected so the client gets a clear one-line JSON error instead
-// of a silent mid-stream failure.
+// Zero values select defaults (CR 4, 125 kHz, OSF 8, channel 0); anything
+// else out of range is rejected so the client gets a clear one-line JSON
+// error instead of a silent mid-stream failure.
 func (h Hello) Validate() error {
 	if h.SF < 6 || h.SF > 12 {
 		return fmt.Errorf("hello: sf %d out of range [6, 12]", h.SF)
@@ -68,14 +73,39 @@ func (h Hello) Validate() error {
 	if h.OSF < 0 || h.OSF > 64 {
 		return fmt.Errorf("hello: osf %d out of range [1, 64] (0 selects 8)", h.OSF)
 	}
+	if h.Channel < 0 || h.Channel >= MaxChannels {
+		return fmt.Errorf("hello: channel %d out of range [0, %d)", h.Channel, MaxChannels)
+	}
 	return nil
+}
+
+// ParseHello decodes one hello line strictly: unknown JSON members are
+// rejected, so a typo'd field (e.g. "chanel") fails loudly at the hello
+// instead of silently decoding on the default channel. Trailing bytes
+// after the object (other than whitespace) are rejected for the same
+// reason.
+func ParseHello(line []byte) (Hello, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var h Hello
+	if err := dec.Decode(&h); err != nil {
+		return Hello{}, err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return Hello{}, errors.New("hello: trailing data after the hello object")
+	}
+	return h, nil
 }
 
 // Report is one decoded packet, emitted as a JSON line.
 type Report struct {
-	Payload     []byte  `json:"payload"`
-	PayloadLen  int     `json:"payload_len"`
-	CR          int     `json:"cr"`
+	Payload    []byte `json:"payload"`
+	PayloadLen int    `json:"payload_len"`
+	CR         int    `json:"cr"`
+	// Channel echoes the hello's channel, so a multi-channel consumer can
+	// merge report streams without tracking which connection is which.
+	Channel     int     `json:"channel,omitempty"`
 	AbsStart    float64 `json:"abs_start_sample"`
 	CFOHz       float64 `json:"cfo_hz"`
 	SNRdB       float64 `json:"snr_db"`
@@ -136,6 +166,13 @@ type Server struct {
 	// MaxBufferSamples overrides the per-connection decode-buffer ceiling
 	// (stream.Config.MaxBufferSamples semantics).
 	MaxBufferSamples int
+	// ShardQueue is the per-(channel, SF) shard queue depth in decode
+	// batches. 0 selects DefaultShardQueue.
+	ShardQueue int
+	// ShardWait bounds how long a connection waits for room on its shard's
+	// queue before being shed with a shard_overload verdict. 0 selects
+	// DefaultShardWait; negative sheds immediately.
+	ShardWait time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -148,7 +185,27 @@ type Server struct {
 	met     *Metrics
 	pmet    *core.PipelineMetrics
 	smet    *stream.Metrics
+
+	shOnce sync.Once
+	sh     *sharder
 }
+
+// shards lazily builds the server's (channel, SF) shard table.
+func (s *Server) shards() *sharder {
+	s.shOnce.Do(func() {
+		met, _, _ := s.instruments()
+		var newSM func(ShardKey) *ShardMetrics
+		if s.Registry != nil {
+			reg := s.Registry
+			newSM = func(k ShardKey) *ShardMetrics { return NewShardMetrics(reg, k) }
+		}
+		s.sh = newSharder(s.ShardQueue, met, newSM)
+	})
+	return s.sh
+}
+
+// ShardCount reports how many (channel, SF) decode shards are live.
+func (s *Server) ShardCount() int { return s.shards().size() }
 
 // instruments lazily builds the server's metric handles from s.Registry.
 // With no registry everything stays nil, and the nil-safe methods make the
@@ -214,7 +271,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// Every handler has a shard reference only while it lives, so
+			// the shard workers stop once the handler WaitGroup drains.
 			s.wg.Wait()
+			s.shards().close()
 			if ctx.Err() != nil || s.shutdown.Load() {
 				return nil
 			}
@@ -373,8 +433,8 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 		}
 		return reject(fmt.Errorf("reading hello: %w", err))
 	}
-	var hello Hello
-	if err := json.Unmarshal(line, &hello); err != nil {
+	hello, err := ParseHello(line)
+	if err != nil {
 		return reject(fmt.Errorf("parsing hello: %w", err))
 	}
 	if err := hello.Validate(); err != nil {
@@ -402,7 +462,27 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 	if err != nil {
 		return err
 	}
-	log = log.With("sf", params.SF, "cr", params.CR, "bec", useBEC)
+
+	// Route this connection's decode work to its (channel, SF) shard: a
+	// bounded-queue worker serializing all streams on that logical radio.
+	key := ShardKey{Channel: hello.Channel, SF: params.SF}
+	shard := s.shards().get(key)
+	if shard == nil {
+		return errors.New("gateway: server is draining")
+	}
+	runShard := func(do func() shardResult) ([]stream.Decoded, error) {
+		ds, err := shard.exec(s.ShardWait, do)
+		var soe *ShardOverloadError
+		if errors.As(err, &soe) {
+			met.onShardOverload()
+			s.Tracer.OnConn(obs.ConnShardOverload, remote, soe.Error())
+			log.Warn("connection shed at shard queue", "shard", key.String())
+			replyErr(CodeShardOverload, soe.Error())
+		}
+		return ds, err
+	}
+
+	log = log.With("sf", params.SF, "cr", params.CR, "bec", useBEC, "shard", key.String())
 	log.Info("stream configured", "bandwidth_hz", params.Bandwidth,
 		"osf", params.OSF, "trace", tracer != nil)
 
@@ -411,12 +491,25 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 		log.Info("connection closed", "reports", reports, "bytes_in", bytesIn)
 	}()
 
+	feed := func(samples []complex128) ([]stream.Decoded, error) {
+		return runShard(func() shardResult {
+			d, e := st.Feed(samples)
+			return shardResult{decoded: d, err: e}
+		})
+	}
+	flush := func() ([]stream.Decoded, error) {
+		return runShard(func() shardResult {
+			d, e := st.Flush()
+			return shardResult{decoded: d, err: e}
+		})
+	}
+
 	emit := func(ds []stream.Decoded, err error) error {
 		if err != nil {
 			return err
 		}
 		for _, d := range ds {
-			rep := toReport(d, params)
+			rep := toReport(d, params, hello.Channel)
 			if hello.Trace && d.Trace != nil {
 				sum := obs.Summarize(d.Trace)
 				rep.Trace = &sum
@@ -474,13 +567,17 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 				replyErr(CodeSampleLimit, fmt.Sprintf("connection exceeded its %d-sample cap", s.MaxSamplesPerConn))
 				return nil
 			}
-			if err := emit(st.Feed(samples)); err != nil {
+			if err := emit(feed(samples)); err != nil {
 				var oe *stream.OverflowError
 				if errors.As(err, &oe) {
 					met.onStreamOverflow()
 					s.Tracer.OnConn(obs.ConnStreamOverflow, remote, oe.Error())
 					replyErr(CodeStreamOverflow, oe.Error())
 					return nil
+				}
+				var soe *ShardOverloadError
+				if errors.As(err, &soe) {
+					return nil // runShard already replied and counted
 				}
 				return classify(err, true)
 			}
@@ -490,7 +587,11 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 				// Clean end of stream (half-close), possibly mid-quad: a
 				// truncated trailing sample is dropped, the buffered tail
 				// is flushed and the final reports are emitted.
-				if err := emit(st.Flush()); err != nil {
+				if err := emit(flush()); err != nil {
+					var soe *ShardOverloadError
+					if errors.As(err, &soe) {
+						return nil
+					}
 					return classify(err, true)
 				}
 				return nil
@@ -500,11 +601,12 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 	}
 }
 
-func toReport(d stream.Decoded, p lora.Params) Report {
+func toReport(d stream.Decoded, p lora.Params, ch int) Report {
 	return Report{
 		Payload:     d.Payload,
 		PayloadLen:  d.Header.PayloadLen,
 		CR:          d.Header.CR,
+		Channel:     ch,
 		AbsStart:    d.AbsStart,
 		CFOHz:       d.CFOCycles / p.SymbolDuration(),
 		SNRdB:       d.SNRdB,

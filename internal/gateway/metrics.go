@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"fmt"
 	"sync"
 
 	"tnb/internal/metrics"
@@ -19,6 +20,9 @@ type Metrics struct {
 	WriteTimeouts     *metrics.Counter // connections dropped by the write deadline
 	ClientAborts      *metrics.Counter // transports that died mid-stream (reset/broken pipe)
 	StreamOverflow    *metrics.Counter // connections closed at the decode-buffer ceiling
+	ShardsActive      *metrics.Gauge   // live (channel, SF) decode shards
+	ShardBatches      *metrics.Counter // decode batches processed across all shards
+	ShardOverload     *metrics.Counter // connections shed at a full shard queue
 }
 
 // NewMetrics registers the gateway instruments on reg. Registration is
@@ -37,6 +41,45 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		WriteTimeouts:     reg.Counter("tnb_gateway_write_timeouts_total"),
 		ClientAborts:      reg.Counter("tnb_gateway_client_aborts_total"),
 		StreamOverflow:    reg.Counter("tnb_gateway_stream_overflow_total"),
+		ShardsActive:      reg.Gauge("tnb_gateway_shards_active"),
+		ShardBatches:      reg.Counter("tnb_gateway_shard_batches_total"),
+		ShardOverload:     reg.Counter("tnb_gateway_shard_overload_total"),
+	}
+}
+
+// ShardMetrics instruments one (channel, SF) decode shard; the shard key is
+// carried as a metric label, so every shard's queue behavior is visible
+// individually on the ops endpoint. All methods are nil-safe.
+type ShardMetrics struct {
+	Batches    *metrics.Counter // decode batches processed by this shard
+	QueueDepth *metrics.Gauge   // batches waiting or in flight on this shard
+}
+
+// NewShardMetrics registers the per-shard instruments for key on reg.
+// Registration is get-or-create, matching NewMetrics.
+func NewShardMetrics(reg *metrics.Registry, key ShardKey) *ShardMetrics {
+	label := fmt.Sprintf("{shard=%q}", key.String())
+	return &ShardMetrics{
+		Batches:    reg.Counter("tnb_gateway_shard_batches_by_shard_total" + label),
+		QueueDepth: reg.Gauge("tnb_gateway_shard_queue_depth" + label),
+	}
+}
+
+func (m *ShardMetrics) onBatch() {
+	if m != nil {
+		m.Batches.Inc()
+	}
+}
+
+func (m *ShardMetrics) onEnqueue() {
+	if m != nil {
+		m.QueueDepth.Inc()
+	}
+}
+
+func (m *ShardMetrics) onDequeue() {
+	if m != nil {
+		m.QueueDepth.Dec()
 	}
 }
 
@@ -115,5 +158,23 @@ func (m *Metrics) onClientAbort() {
 func (m *Metrics) onStreamOverflow() {
 	if m != nil {
 		m.StreamOverflow.Inc()
+	}
+}
+
+func (m *Metrics) onShardOpen() {
+	if m != nil {
+		m.ShardsActive.Inc()
+	}
+}
+
+func (m *Metrics) onShardBatch() {
+	if m != nil {
+		m.ShardBatches.Inc()
+	}
+}
+
+func (m *Metrics) onShardOverload() {
+	if m != nil {
+		m.ShardOverload.Inc()
 	}
 }

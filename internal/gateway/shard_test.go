@@ -1,0 +1,216 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tnb/internal/lora"
+	"tnb/internal/metrics"
+	"tnb/internal/trace"
+)
+
+// buildShardTrace renders a short two-packet trace at the golden-test
+// radio parameters (SF 8, OSF 2), cheap enough to decode many times.
+func buildShardTrace(t *testing.T, seed int64) ([]complex128, [][]uint8, lora.Params) {
+	t.Helper()
+	p := lora.MustParams(8, 4, 125e3, 2)
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder(p, 0.35, 1, rng)
+	starts := b.ScheduleUniform(2, 14)
+	payloads := make([][]uint8, 0, len(starts))
+	for i, s := range starts {
+		payload := make([]uint8, 14)
+		rng.Read(payload)
+		if err := b.AddPacket(i, 0, payload, s, 10, -3000+float64(i)*1500, nil); err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, payload)
+	}
+	tr, _ := b.Build()
+	return tr.Antennas[0], payloads, p
+}
+
+// TestShardRoutingChannels drives two connections on different channels
+// through one server and checks that each lands on its own (channel, SF)
+// shard, that reports echo the hello's channel, and that the per-shard
+// instruments appear under the shard label.
+func TestShardRoutingChannels(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Log: testLogger(t), Registry: reg}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("server did not stop")
+		}
+	}()
+
+	samples, payloads, p := buildShardTrace(t, 940)
+	for _, ch := range []int{1, 3} {
+		c, err := Dial(ln.Addr().String(), Hello{SF: p.SF, CR: p.CR, OSF: p.OSF, Channel: ch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Send(samples); err != nil {
+			t.Fatal(err)
+		}
+		reports, err := c.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) < len(payloads)-1 {
+			t.Fatalf("channel %d: decoded %d/%d packets", ch, len(reports), len(payloads))
+		}
+		for _, r := range reports {
+			if r.Channel != ch {
+				t.Errorf("report on channel %d carries channel %d", ch, r.Channel)
+			}
+		}
+	}
+
+	if got := srv.ShardCount(); got != 2 {
+		t.Errorf("ShardCount = %d, want 2 (channels 1 and 3 at SF 8)", got)
+	}
+	m := NewMetrics(reg)
+	if m.ShardsActive.Value() != 2 {
+		t.Errorf("shards_active = %d, want 2", m.ShardsActive.Value())
+	}
+	if m.ShardBatches.Value() == 0 {
+		t.Error("aggregate shard batch counter never moved")
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		`tnb_gateway_shard_batches_by_shard_total{shard="c1_sf8"}`,
+		`tnb_gateway_shard_batches_by_shard_total{shard="c3_sf8"}`,
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("per-shard metric %s not registered", name)
+		}
+	}
+}
+
+// TestShardOverload exercises the bounded queue directly: with the single
+// worker wedged and the one-deep queue full, an immediate-shed submit must
+// fail with the typed *ShardOverloadError.
+func TestShardOverload(t *testing.T) {
+	sh := newSharder(1, nil, nil)
+	lane := sh.get(ShardKey{Channel: 0, SF: 8})
+
+	block := make(chan struct{})
+	wedged := shardJob{do: func() shardResult { <-block; return shardResult{} }, done: make(chan shardResult, 1)}
+	if err := lane.submit(wedged, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker has taken the wedged job off the queue, then
+	// fill the queue again so the next submit finds it at capacity.
+	deadline := time.Now().Add(5 * time.Second)
+	filler := shardJob{do: func() shardResult { return shardResult{} }, done: make(chan shardResult, 1)}
+	for {
+		if err := lane.submit(filler, -1); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the wedged job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	extra := shardJob{do: func() shardResult { return shardResult{} }, done: make(chan shardResult, 1)}
+	err := lane.submit(extra, -1)
+	var soe *ShardOverloadError
+	if !errors.As(err, &soe) {
+		t.Fatalf("submit on a full queue: %v, want *ShardOverloadError", err)
+	}
+	if soe.Key != (ShardKey{Channel: 0, SF: 8}) || soe.Queue != 1 {
+		t.Errorf("overload error fields: %+v", soe)
+	}
+	if !strings.Contains(soe.Error(), "c0_sf8") {
+		t.Errorf("overload error does not name the shard: %s", soe)
+	}
+
+	close(block)
+	<-wedged.done
+	<-filler.done
+	sh.close()
+}
+
+// TestShardOverloadRetryable keeps the client contract: a shard_overload
+// verdict must be classified as transient, like connection-budget shedding.
+func TestShardOverloadRetryable(t *testing.T) {
+	ge := &GatewayError{Code: CodeShardOverload, Message: "queue full"}
+	if !ge.Retryable() {
+		t.Error("shard_overload must be retryable")
+	}
+}
+
+// TestHelloRejectsUnknownFields pins the strict hello contract end to end:
+// a typo'd member ("chanel") must draw a bad_hello verdict instead of
+// silently decoding on the default channel.
+func TestHelloRejectsUnknownFields(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"sf": 8, "chanel": 3}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var resp map[string]string
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("no error response: %v", err)
+	}
+	if resp["code"] != CodeBadHello {
+		t.Errorf("typo'd hello field answered with %v, want %s", resp, CodeBadHello)
+	}
+}
+
+// TestParseHello covers the strict-parse edges the fuzz target also walks.
+func TestParseHello(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+	}{
+		{"plain", `{"sf": 8, "cr": 4}`, true},
+		{"channelized", `{"sf": 7, "cr": 1, "channel": 5}`, true},
+		{"typo", `{"sf": 8, "chanel": 3}`, false},
+		{"unknown", `{"sf": 8, "frequency_hz": 868100000}`, false},
+		{"trailing", `{"sf": 8}{"sf": 9}`, false},
+		{"trailing_ws", `{"sf": 8}` + " \n", true},
+	}
+	for _, tc := range cases {
+		_, err := ParseHello([]byte(tc.line))
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: ParseHello(%q) err=%v, want ok=%v", tc.name, tc.line, err, tc.ok)
+		}
+	}
+}
+
+// TestHelloChannelRange: channels outside [0, MaxChannels) are rejected at
+// Validate, in range accepted.
+func TestHelloChannelRange(t *testing.T) {
+	for ch, ok := range map[int]bool{0: true, 7: true, -1: false, 8: false, 100: false} {
+		err := Hello{SF: 8, Channel: ch}.Validate()
+		if (err == nil) != ok {
+			t.Errorf("channel %d: Validate err=%v, want ok=%v", ch, err, ok)
+		}
+	}
+}

@@ -22,7 +22,8 @@ type JoinRequestFrame struct {
 	DevNonce uint16
 }
 
-// Marshal serializes the join request with its MIC under the AppKey.
+// Marshal serializes the join request and appends its 4-byte MIC, the
+// AES-CMAC of MHDR||AppEUI||DevEUI||DevNonce under the 16-byte AppKey.
 func (j *JoinRequestFrame) Marshal(appKey []byte) ([]byte, error) {
 	buf := make([]byte, 0, 1+8+8+2+micLen)
 	buf = append(buf, uint8(JoinRequest)<<5)
@@ -41,7 +42,16 @@ func (j *JoinRequestFrame) Marshal(appKey []byte) ([]byte, error) {
 	return append(buf, mac[:micLen]...), nil
 }
 
-// ParseJoinRequest parses and verifies a join request.
+// ParseJoinRequest parses a join request and verifies its MIC under the
+// AppKey in constant time, returning ErrBadMIC on any tampering and
+// ErrTooShort/ErrBadMType on framing errors.
+//
+// It deliberately does NOT track DevNonce reuse: the codec is stateless,
+// and a replayed-but-authentic frame parses successfully every time.
+// Replay protection is the caller's job — the network server must refuse
+// a (DevEUI, DevNonce) pair it has already activated (see
+// internal/netserver), or an attacker who recorded one join can force a
+// rekey at will.
 func ParseJoinRequest(wire, appKey []byte) (*JoinRequestFrame, error) {
 	if len(wire) != 1+8+8+2+micLen {
 		return nil, ErrTooShort
@@ -139,7 +149,16 @@ func ParseJoinAccept(wire, appKey []byte) (*JoinAcceptFrame, error) {
 }
 
 // DeriveSessionKeys computes NwkSKey and AppSKey from the join exchange
-// (LoRaWAN 1.0 §6.2.5).
+// (LoRaWAN 1.0 §6.2.5): each is one AES-ECB encryption of a tagged
+// AppNonce||NetID||DevNonce block under the AppKey.
+//
+// The derivation is pure and deterministic — same inputs, same keys, on
+// the device and the network alike — and performs no validation beyond
+// the AES key length: it cannot tell a verified exchange from a forged
+// one. Callers must only feed it nonces from a MIC-verified join
+// (ParseJoinRequest / ParseJoinAccept), and both sides must use the
+// exact nonce values from the wire, or the derived keys silently
+// diverge and every subsequent frame fails its MIC.
 func DeriveSessionKeys(appKey []byte, appNonce, netID uint32, devNonce uint16) (nwkSKey, appSKey []byte, err error) {
 	block, err := aes.NewCipher(appKey)
 	if err != nil {

@@ -118,6 +118,64 @@ func TestSessionKeyDerivationAndUse(t *testing.T) {
 	}
 }
 
+// TestParseJoinRequestBadMIC pins the exact failure mode: an authentic
+// frame under the wrong key, or a frame with a damaged MIC, must fail
+// with ErrBadMIC specifically (not a generic error), because the
+// netserver's drop taxonomy keys off that sentinel.
+func TestParseJoinRequestBadMIC(t *testing.T) {
+	j := &JoinRequestFrame{AppEUI: 1, DevEUI: 2, DevNonce: 3}
+	wire, err := j.Marshal(appKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := bytes.Repeat([]byte{0x99}, 16)
+	if _, err := ParseJoinRequest(wire, wrong); err != ErrBadMIC {
+		t.Errorf("wrong key: %v, want ErrBadMIC", err)
+	}
+	for i := len(wire) - 4; i < len(wire); i++ {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x01
+		if _, err := ParseJoinRequest(bad, appKey()); err != ErrBadMIC {
+			t.Errorf("MIC byte %d flipped: %v, want ErrBadMIC", i, err)
+		}
+	}
+	bad := append([]byte(nil), wire...)
+	bad[0] = uint8(JoinAccept) << 5
+	if _, err := ParseJoinRequest(bad, appKey()); err != ErrBadMType {
+		t.Errorf("wrong mtype: %v, want ErrBadMType", err)
+	}
+}
+
+// TestParseJoinRequestNoReplayProtection documents the contract split: the
+// stateless codec accepts a replayed-but-authentic frame every time, and
+// refusing reused DevNonces is the network server's responsibility.
+func TestParseJoinRequestNoReplayProtection(t *testing.T) {
+	j := &JoinRequestFrame{AppEUI: 1, DevEUI: 2, DevNonce: 0x4444}
+	wire, err := j.Marshal(appKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := ParseJoinRequest(wire, appKey())
+		if err != nil {
+			t.Fatalf("replay %d: %v (the codec must stay stateless; replay defense lives in the caller)", i, err)
+		}
+		if got.DevNonce != 0x4444 {
+			t.Fatalf("replay %d: nonce %04x", i, got.DevNonce)
+		}
+	}
+}
+
+// TestDeriveSessionKeysBadKey: the only validation is the AES key length.
+func TestDeriveSessionKeysBadKey(t *testing.T) {
+	if _, _, err := DeriveSessionKeys([]byte("short"), 1, 2, 3); err == nil {
+		t.Error("5-byte AppKey accepted")
+	}
+	if _, _, err := DeriveSessionKeys(nil, 1, 2, 3); err == nil {
+		t.Error("nil AppKey accepted")
+	}
+}
+
 func TestEUIString(t *testing.T) {
 	if EUI(0xAB).String() != "00000000000000AB" {
 		t.Errorf("EUI format: %s", EUI(0xAB))

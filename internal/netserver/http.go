@@ -1,0 +1,21 @@
+package netserver
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the netserver ops snapshot as JSON (the /netserver
+// endpoint). Mount it on the metrics mux:
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/", metrics.Handler(reg))
+//	mux.Handle("/netserver", ns.Handler())
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	})
+}

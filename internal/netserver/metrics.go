@@ -1,0 +1,81 @@
+package netserver
+
+import "tnb/internal/metrics"
+
+// Metrics bundles the netserver instruments. All methods are nil-safe so a
+// Server without a registry pays only a pointer check.
+type Metrics struct {
+	Uplinks       *metrics.Counter // tnb_netserver_uplinks_total
+	Joins         *metrics.Counter // tnb_netserver_joins_total
+	Delivered     *metrics.Counter // tnb_netserver_delivered_total
+	DupSuppressed *metrics.Counter // tnb_netserver_dup_suppressed_total
+	Dropped       *metrics.Counter // tnb_netserver_dropped_total
+	QuotaDropped  *metrics.Counter // tnb_netserver_quota_dropped_total
+	Sessions      *metrics.Gauge   // tnb_netserver_sessions_active
+	DedupPending  *metrics.Gauge   // tnb_netserver_dedup_pending
+	DedupBytes    *metrics.Gauge   // tnb_netserver_dedup_bytes
+}
+
+// NewMetrics registers the netserver instruments on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Uplinks:       reg.Counter("tnb_netserver_uplinks_total"),
+		Joins:         reg.Counter("tnb_netserver_joins_total"),
+		Delivered:     reg.Counter("tnb_netserver_delivered_total"),
+		DupSuppressed: reg.Counter("tnb_netserver_dup_suppressed_total"),
+		Dropped:       reg.Counter("tnb_netserver_dropped_total"),
+		QuotaDropped:  reg.Counter("tnb_netserver_quota_dropped_total"),
+		Sessions:      reg.Gauge("tnb_netserver_sessions_active"),
+		DedupPending:  reg.Gauge("tnb_netserver_dedup_pending"),
+		DedupBytes:    reg.Gauge("tnb_netserver_dedup_bytes"),
+	}
+}
+
+func (m *Metrics) onUplink() {
+	if m != nil {
+		m.Uplinks.Inc()
+	}
+}
+
+func (m *Metrics) onJoin() {
+	if m != nil {
+		m.Joins.Inc()
+	}
+}
+
+func (m *Metrics) onDelivered() {
+	if m != nil {
+		m.Delivered.Inc()
+	}
+}
+
+func (m *Metrics) onDupSuppressed() {
+	if m != nil {
+		m.DupSuppressed.Inc()
+	}
+}
+
+func (m *Metrics) onDropped() {
+	if m != nil {
+		m.Dropped.Inc()
+	}
+}
+
+func (m *Metrics) onQuotaDropped() {
+	if m != nil {
+		m.QuotaDropped.Inc()
+	}
+}
+
+func (m *Metrics) setSessions(n int) {
+	if m != nil {
+		m.Sessions.Set(int64(n))
+	}
+}
+
+func (m *Metrics) setDedup(pending int, bytes int64) {
+	if m != nil {
+		m.DedupPending.Set(int64(pending))
+		m.DedupBytes.Set(bytes)
+	}
+}

@@ -1,0 +1,756 @@
+// Package netserver is the LoRaWAN network-server layer above the gateway
+// fleet: many gateways decode PHY payloads on their (channel, SF) shards
+// and forward them here as Uplinks; the netserver turns that redundant,
+// encrypted stream into exactly-once application deliveries.
+//
+// It implements the four MAC-layer jobs a deployment needs:
+//
+//   - Cross-gateway dedup: the same transmission is usually heard by
+//     several gateways. Copies are matched by (DevAddr, FCnt, payload
+//     hash) — (DevEUI, DevNonce, hash) for joins — inside a dedup window
+//     anchored at the first copy's receive time; the frame is delivered
+//     once, at window expiry, crediting the best-SNR gateway.
+//   - OTAA joins: a verified JoinRequest from a provisioned device draws a
+//     deterministic DevAddr/AppNonce, the LoRaWAN 1.0 session keys are
+//     derived on both sides, and the JoinAccept downlink frame is returned
+//     in the join event. DevNonce replay is refused.
+//   - Session data: data frames are MIC-verified and decrypted against the
+//     device session table, with FCnt replay protection.
+//   - Per-tenant quotas: deliveries are charged to the device's tenant
+//     token bucket in logical time; an exhausted bucket turns the delivery
+//     into a quota_exceeded drop.
+//
+// Determinism contract: Ingest fans the CPU-heavy crypto verification over
+// internal/parallel into index-addressed slots, then commits serially in
+// batch order, so the event stream is byte-identical at every worker
+// width. Time is logical (Uplink.TimeSec), never the wall clock, so a
+// fixed fleet seed replays to the same bytes.
+package netserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tnb/internal/lorawan"
+	"tnb/internal/parallel"
+)
+
+// ErrConcurrentUse is returned by Ingest/AdvanceTo/Flush when a call
+// overlaps another: the Server is a stateful single-consumer pipeline and
+// must be driven from one goroutine at a time (the Streamer contract).
+// Stats and the HTTP handler remain safe to call concurrently.
+var ErrConcurrentUse = errors.New("netserver: concurrent Ingest/AdvanceTo/Flush call")
+
+// Uplink is one decoded PHY payload forwarded by a gateway: the LoRaWAN
+// frame bytes plus the reception metadata the netserver needs for dedup
+// and shard accounting.
+type Uplink struct {
+	GatewayID string  `json:"gateway"`
+	Channel   int     `json:"channel"`
+	SF        int     `json:"sf"`
+	TimeSec   float64 `json:"time_sec"` // logical receive time
+	SNRdB     float64 `json:"snr_db"`
+	Payload   []byte  `json:"payload"` // LoRaWAN frame bytes
+}
+
+// Device provisions one OTAA device: its identity, root key and tenant.
+type Device struct {
+	DevEUI lorawan.EUI
+	AppEUI lorawan.EUI
+	AppKey []byte
+	Tenant string
+}
+
+// Quota is a per-tenant token bucket charged one token per delivery, in
+// logical time. The zero value means unlimited.
+type Quota struct {
+	RatePerSec float64 // sustained deliveries per second
+	Burst      float64 // bucket depth (0 with a rate selects 1)
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultNetID          = 0x000013
+	DefaultDevAddrBase    = 0x26000000
+	DefaultDedupWindowSec = 0.2
+)
+
+// Config tunes a Server.
+type Config struct {
+	// NetID is the 24-bit network identifier placed in join accepts.
+	// 0 selects DefaultNetID.
+	NetID uint32
+	// DevAddrBase is OR'd with the join counter to form assigned device
+	// addresses. 0 selects DefaultDevAddrBase.
+	DevAddrBase uint32
+	// DedupWindowSec is how long after the first copy of a frame the
+	// netserver waits for more gateway copies before delivering. 0 selects
+	// DefaultDedupWindowSec; negative delivers immediately.
+	DedupWindowSec float64
+	// Workers is the verification fan-out width (parallel.Workers
+	// semantics: 0 → GOMAXPROCS, 1 → serial). Output is byte-identical at
+	// every width.
+	Workers int
+	// Devices is the OTAA provisioning table.
+	Devices []Device
+	// Quotas maps tenant → quota; tenants not listed are unlimited.
+	Quotas map[string]Quota
+	// Metrics receives the netserver instruments; nil disables them.
+	Metrics *Metrics
+}
+
+// Event is one netserver output record, emitted as a JSON line by the
+// drivers. Type is "join", "delivery" or "drop".
+type Event struct {
+	Type    string  `json:"type"`
+	TimeSec float64 `json:"time_sec"`
+	DevEUI  string  `json:"dev_eui,omitempty"`
+	DevAddr string  `json:"dev_addr,omitempty"`
+	FCnt    int     `json:"fcnt,omitempty"`
+	FPort   int     `json:"fport,omitempty"`
+	// Payload is the decrypted application payload on deliveries.
+	Payload []byte `json:"payload,omitempty"`
+	Channel int    `json:"channel"`
+	SF      int    `json:"sf"`
+	// Gateway is the best-SNR reception; Gateways lists every gateway that
+	// contributed a copy (sorted); Copies counts the merged receptions.
+	Gateway  string   `json:"gateway,omitempty"`
+	SNRdB    float64  `json:"snr_db,omitempty"`
+	Copies   int      `json:"copies,omitempty"`
+	Gateways []string `json:"gateways,omitempty"`
+	Tenant   string   `json:"tenant,omitempty"`
+	// JoinAccept carries the encrypted downlink frame for the device on
+	// join events; the device parses it with its AppKey and derives the
+	// same session keys the netserver stored.
+	JoinAccept []byte `json:"join_accept,omitempty"`
+	// Reason classifies drops: malformed, unsupported_mtype,
+	// unknown_device, unknown_devaddr, bad_mic, replayed_devnonce,
+	// replayed_fcnt, quota_exceeded.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Drop reasons (Event.Reason).
+const (
+	ReasonMalformed        = "malformed"
+	ReasonUnsupportedMType = "unsupported_mtype"
+	ReasonUnknownDevice    = "unknown_device"
+	ReasonUnknownDevAddr   = "unknown_devaddr"
+	ReasonBadMIC           = "bad_mic"
+	ReasonReplayedDevNonce = "replayed_devnonce"
+	ReasonReplayedFCnt     = "replayed_fcnt"
+	ReasonQuotaExceeded    = "quota_exceeded"
+)
+
+// session is one activated device: the derived keys and uplink state.
+type session struct {
+	devEUI   lorawan.EUI
+	devAddr  lorawan.DevAddr
+	tenant   string
+	nwkSKey  []byte
+	appSKey  []byte
+	lastFCnt int64 // highest delivered FCnt; -1 before the first uplink
+}
+
+// deviceState is one provisioned device's server-side record.
+type deviceState struct {
+	dev        Device
+	usedNonces map[uint16]bool
+	sess       *session // nil until joined
+}
+
+// verdict kinds.
+const (
+	vDrop = iota
+	vJoin
+	vData
+	vDefer // session unknown at verify time; re-verified serially
+)
+
+// verdict is the parallel verification result for one uplink.
+type verdict struct {
+	kind   int
+	reason string
+	join   *lorawan.JoinRequestFrame
+	dev    *deviceState
+	frame  *lorawan.DataFrame
+	sess   *session // the session the frame was verified against
+}
+
+// pendEntry is one frame waiting out its dedup window.
+type pendEntry struct {
+	key      string
+	first    float64 // receive time of the first copy
+	channel  int
+	sf       int
+	copies   int
+	gateways []string
+	bestSNR  float64
+	bestGW   string
+	bytes    int64 // dedup-table memory charged for this entry
+
+	isJoin bool
+	dev    *deviceState
+	join   *lorawan.JoinRequestFrame
+	sess   *session
+	frame  *lorawan.DataFrame
+}
+
+// shardStat accumulates per-(channel, SF) traffic.
+type shardStat struct {
+	Uplinks   uint64 `json:"uplinks"`
+	Delivered uint64 `json:"delivered"`
+}
+
+// Server is the network server. Build it with New; drive it with Ingest
+// (one goroutine), read it with Stats/Handler (any goroutine).
+type Server struct {
+	cfg    Config
+	window float64
+	met    *Metrics
+	inUse  atomic.Bool
+
+	mu         sync.Mutex
+	devices    map[lorawan.EUI]*deviceState
+	sessions   map[lorawan.DevAddr]*session
+	pend       []*pendEntry // FIFO; first times are nondecreasing
+	pendByKey  map[string]*pendEntry
+	pendBytes  int64
+	clock      float64
+	joinCount  uint32
+	buckets    map[string]*bucket
+	shards     map[[2]int]*shardStat
+	gateways   map[string]uint64
+	dropReason map[string]uint64
+
+	nUplinks, nJoins, nDelivered, nDups, nDrops, nQuota uint64
+}
+
+// New builds a Server from cfg. Devices with short keys are rejected.
+func New(cfg Config) (*Server, error) {
+	if cfg.NetID == 0 {
+		cfg.NetID = DefaultNetID
+	}
+	if cfg.DevAddrBase == 0 {
+		cfg.DevAddrBase = DefaultDevAddrBase
+	}
+	window := cfg.DedupWindowSec
+	if window == 0 {
+		window = DefaultDedupWindowSec
+	}
+	if window < 0 {
+		window = 0
+	}
+	s := &Server{
+		cfg:        cfg,
+		window:     window,
+		met:        cfg.Metrics,
+		devices:    make(map[lorawan.EUI]*deviceState, len(cfg.Devices)),
+		sessions:   make(map[lorawan.DevAddr]*session),
+		pendByKey:  make(map[string]*pendEntry),
+		buckets:    make(map[string]*bucket),
+		shards:     make(map[[2]int]*shardStat),
+		gateways:   make(map[string]uint64),
+		dropReason: make(map[string]uint64),
+	}
+	for _, d := range cfg.Devices {
+		if len(d.AppKey) != 16 {
+			return nil, fmt.Errorf("netserver: device %s AppKey is %d bytes, want 16", d.DevEUI, len(d.AppKey))
+		}
+		if _, dup := s.devices[d.DevEUI]; dup {
+			return nil, fmt.Errorf("netserver: device %s provisioned twice", d.DevEUI)
+		}
+		s.devices[d.DevEUI] = &deviceState{dev: d, usedNonces: make(map[uint16]bool)}
+	}
+	for tenant, q := range cfg.Quotas {
+		if q.RatePerSec <= 0 {
+			continue // unlimited
+		}
+		burst := q.Burst
+		if burst <= 0 {
+			burst = 1
+		}
+		s.buckets[tenant] = &bucket{rate: q.RatePerSec, burst: burst, tokens: burst}
+	}
+	return s, nil
+}
+
+// bucket is a logical-time token bucket.
+type bucket struct {
+	rate, burst, tokens, last float64
+}
+
+// allow charges one token at logical time t (nondecreasing).
+func (b *bucket) allow(t float64) bool {
+	if b == nil {
+		return true
+	}
+	if t > b.last {
+		b.tokens += (t - b.last) * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Ingest feeds one batch of uplinks, ordered by TimeSec, and returns the
+// events they produced (including deliveries of earlier frames whose dedup
+// window expired as the batch's logical clock advanced). MIC verification
+// and payload decryption run on the worker pool; commits are serial in
+// batch order, so the event stream is identical at every worker width.
+func (s *Server) Ingest(batch []Uplink) ([]Event, error) {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentUse
+	}
+	defer s.inUse.Store(false)
+
+	// Phase 1 — parallel verify into index-addressed slots. Workers only
+	// read the device/session tables; every mutation happens in phase 2.
+	verdicts := make([]verdict, len(batch))
+	parallel.ForEach(s.cfg.Workers, len(batch), func(_, i int) {
+		verdicts[i] = s.verify(&batch[i])
+	})
+
+	// Phase 2 — serial commit in batch order.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var evs []Event
+	for i := range batch {
+		evs = s.commit(evs, &batch[i], &verdicts[i])
+	}
+	s.updateGauges()
+	return evs, nil
+}
+
+// AdvanceTo moves the logical clock to t, delivering every pending frame
+// whose dedup window expired by then. Use it when the uplink stream goes
+// quiet but time still passes (the fleet drivers call it between phases).
+func (s *Server) AdvanceTo(t float64) ([]Event, error) {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentUse
+	}
+	defer s.inUse.Store(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.clock {
+		t = s.clock
+	}
+	s.clock = t
+	evs := s.flushExpired(nil, t)
+	s.updateGauges()
+	return evs, nil
+}
+
+// Flush delivers every pending frame regardless of its window, each
+// stamped at its own window expiry. Sessions and counters survive; only
+// the dedup table drains. Call it at end of stream.
+func (s *Server) Flush() ([]Event, error) {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentUse
+	}
+	defer s.inUse.Store(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var evs []Event
+	for len(s.pend) > 0 {
+		evs = s.deliver(evs, s.pend[0])
+		s.pend = s.pend[1:]
+	}
+	s.pendByKey = make(map[string]*pendEntry)
+	s.pendBytes = 0
+	s.updateGauges()
+	return evs, nil
+}
+
+// verify classifies one uplink and runs its crypto without touching server
+// state. Safe to run concurrently with other verify calls (read-only).
+func (s *Server) verify(u *Uplink) verdict {
+	w := u.Payload
+	if len(w) < 1 {
+		return verdict{kind: vDrop, reason: ReasonMalformed}
+	}
+	switch mtype := lorawan.MType(w[0] >> 5); mtype {
+	case lorawan.JoinRequest:
+		if len(w) != 23 {
+			return verdict{kind: vDrop, reason: ReasonMalformed}
+		}
+		devEUI := lorawan.EUI(binary.LittleEndian.Uint64(w[9:17]))
+		dev, ok := s.devices[devEUI]
+		if !ok {
+			return verdict{kind: vDrop, reason: ReasonUnknownDevice}
+		}
+		jr, err := lorawan.ParseJoinRequest(w, dev.dev.AppKey)
+		if err != nil {
+			return verdict{kind: vDrop, reason: ReasonBadMIC}
+		}
+		return verdict{kind: vJoin, join: jr, dev: dev}
+	case lorawan.UnconfirmedDataUp, lorawan.ConfirmedDataUp:
+		if len(w) < 12 {
+			return verdict{kind: vDrop, reason: ReasonMalformed}
+		}
+		addr := lorawan.DevAddr(binary.LittleEndian.Uint32(w[1:5]))
+		sess, ok := s.sessions[addr]
+		if !ok {
+			// The session may be created later in this very batch (join
+			// and first uplink together); decide serially.
+			return verdict{kind: vDefer}
+		}
+		f, err := lorawan.ParseDataFrame(w, sess.nwkSKey, sess.appSKey)
+		if err != nil {
+			return verdict{kind: vDrop, reason: ReasonBadMIC}
+		}
+		return verdict{kind: vData, frame: f, sess: sess}
+	default:
+		return verdict{kind: vDrop, reason: ReasonUnsupportedMType}
+	}
+}
+
+// commit applies one uplink's verdict under the server lock, appending any
+// events (window-expiry deliveries first, then this uplink's own outcome).
+func (s *Server) commit(evs []Event, u *Uplink, v *verdict) []Event {
+	t := u.TimeSec
+	if t < s.clock {
+		t = s.clock // logical time never runs backwards
+	}
+	s.clock = t
+	evs = s.flushExpired(evs, t)
+
+	s.nUplinks++
+	s.met.onUplink()
+	s.gateways[u.GatewayID]++
+	s.shardStat(u.Channel, u.SF).Uplinks++
+
+	// A deferred or stale verification re-runs serially: the session table
+	// may have changed since phase 1 (same-batch join or rejoin).
+	if v.kind == vDefer {
+		*v = s.reverify(u)
+	} else if v.kind == vData {
+		if cur, ok := s.sessions[v.sess.devAddr]; !ok || cur != v.sess {
+			*v = s.reverify(u)
+		}
+	}
+
+	switch v.kind {
+	case vDrop:
+		return s.drop(evs, u, t, v.reason)
+	case vJoin:
+		key := fmt.Sprintf("j:%s:%04x:%x", v.join.DevEUI, v.join.DevNonce, payloadHash(u.Payload))
+		if e, ok := s.pendByKey[key]; ok {
+			s.mergeCopy(e, u)
+			return evs
+		}
+		if v.dev.usedNonces[v.join.DevNonce] {
+			return s.drop(evs, u, t, ReasonReplayedDevNonce)
+		}
+		e := &pendEntry{isJoin: true, dev: v.dev, join: v.join}
+		s.addPend(e, key, u, t)
+		return evs
+	case vData:
+		key := fmt.Sprintf("d:%s:%d:%x", v.sess.devAddr, v.frame.FCnt, payloadHash(u.Payload))
+		if e, ok := s.pendByKey[key]; ok {
+			s.mergeCopy(e, u)
+			return evs
+		}
+		if int64(v.frame.FCnt) <= v.sess.lastFCnt {
+			return s.drop(evs, u, t, ReasonReplayedFCnt)
+		}
+		e := &pendEntry{sess: v.sess, frame: v.frame}
+		s.addPend(e, key, u, t)
+		return evs
+	}
+	return evs
+}
+
+// reverify is the serial fallback for verdicts that phase 1 could not
+// settle against a stable session table.
+func (s *Server) reverify(u *Uplink) verdict {
+	w := u.Payload
+	addr := lorawan.DevAddr(binary.LittleEndian.Uint32(w[1:5]))
+	sess, ok := s.sessions[addr]
+	if !ok {
+		return verdict{kind: vDrop, reason: ReasonUnknownDevAddr}
+	}
+	f, err := lorawan.ParseDataFrame(w, sess.nwkSKey, sess.appSKey)
+	if err != nil {
+		return verdict{kind: vDrop, reason: ReasonBadMIC}
+	}
+	return verdict{kind: vData, frame: f, sess: sess}
+}
+
+// addPend opens a dedup window for a first copy.
+func (s *Server) addPend(e *pendEntry, key string, u *Uplink, t float64) {
+	e.key = key
+	e.first = t
+	e.channel, e.sf = u.Channel, u.SF
+	e.copies = 1
+	e.gateways = []string{u.GatewayID}
+	e.bestSNR, e.bestGW = u.SNRdB, u.GatewayID
+	e.bytes = int64(len(u.Payload) + len(key) + pendOverheadBytes)
+	s.pend = append(s.pend, e)
+	s.pendByKey[key] = e
+	s.pendBytes += e.bytes
+}
+
+// mergeCopy folds another gateway's copy into a pending frame, keeping the
+// best-SNR reception (ties break toward the lexicographically smaller
+// gateway so the outcome is order-independent).
+func (s *Server) mergeCopy(e *pendEntry, u *Uplink) {
+	e.copies++
+	s.nDups++
+	s.met.onDupSuppressed()
+	if u.SNRdB > e.bestSNR || (u.SNRdB == e.bestSNR && u.GatewayID < e.bestGW) {
+		e.bestSNR, e.bestGW = u.SNRdB, u.GatewayID
+	}
+	for _, g := range e.gateways {
+		if g == u.GatewayID {
+			return
+		}
+	}
+	e.gateways = append(e.gateways, u.GatewayID)
+	e.bytes += int64(len(u.GatewayID))
+	s.pendBytes += int64(len(u.GatewayID))
+}
+
+// pendOverheadBytes approximates the fixed per-entry cost of the dedup
+// table (entry struct, map slot, queue slot) for the memory gauge.
+const pendOverheadBytes = 160
+
+// flushExpired delivers, in arrival order, every pending frame whose dedup
+// window closed by logical time t.
+func (s *Server) flushExpired(evs []Event, t float64) []Event {
+	for len(s.pend) > 0 && s.pend[0].first+s.window <= t {
+		e := s.pend[0]
+		s.pend = s.pend[1:]
+		evs = s.deliver(evs, e)
+	}
+	return evs
+}
+
+// deliver closes one dedup window: executes the join or hands the data
+// frame to the tenant's quota, emitting the event stamped at window expiry.
+func (s *Server) deliver(evs []Event, e *pendEntry) []Event {
+	delete(s.pendByKey, e.key)
+	s.pendBytes -= e.bytes
+	at := e.first + s.window
+	sort.Strings(e.gateways)
+
+	if e.isJoin {
+		return append(evs, s.executeJoin(e, at))
+	}
+
+	// The world may have moved while the frame waited out its window:
+	// a rejoin replaces the session (old keys are void), and an equal-FCnt
+	// frame with a different payload opens its own window. Re-check both.
+	sess := e.sess
+	if cur, ok := s.sessions[sess.devAddr]; !ok || cur != sess {
+		return append(evs, s.windowDrop(e, at, sess, ReasonUnknownDevAddr))
+	}
+	if int64(e.frame.FCnt) <= sess.lastFCnt {
+		return append(evs, s.windowDrop(e, at, sess, ReasonReplayedFCnt))
+	}
+	tenant := sess.tenant
+	if !s.buckets[tenant].allow(at) {
+		s.nQuota++
+		s.met.onQuotaDropped()
+		ev := s.windowDrop(e, at, sess, ReasonQuotaExceeded)
+		ev.Tenant = tenant
+		return append(evs, ev)
+	}
+	sess.lastFCnt = int64(e.frame.FCnt)
+	s.nDelivered++
+	s.met.onDelivered()
+	s.shardStat(e.channel, e.sf).Delivered++
+	return append(evs, Event{
+		Type:    "delivery",
+		TimeSec: at,
+		DevEUI:  sess.devEUI.String(),
+		DevAddr: sess.devAddr.String(),
+		FCnt:    int(e.frame.FCnt),
+		FPort:   int(e.frame.FPort),
+		Payload: e.frame.FRMPayload,
+		Channel: e.channel, SF: e.sf,
+		Gateway: e.bestGW, SNRdB: e.bestSNR,
+		Copies: e.copies, Gateways: e.gateways,
+		Tenant: tenant,
+	})
+}
+
+// executeJoin activates a session at window expiry: marks the DevNonce
+// used, assigns the deterministic DevAddr/AppNonce pair, derives the
+// session keys and builds the JoinAccept downlink.
+func (s *Server) executeJoin(e *pendEntry, at float64) Event {
+	dev := e.dev
+	dev.usedNonces[e.join.DevNonce] = true
+	if dev.sess != nil {
+		delete(s.sessions, dev.sess.devAddr) // rejoin replaces the session
+	}
+	s.joinCount++
+	addr := lorawan.DevAddr(s.cfg.DevAddrBase | (s.joinCount & 0x00FFFFFF))
+	appNonce := s.joinCount & 0x00FFFFFF
+
+	nwk, app, err := lorawan.DeriveSessionKeys(dev.dev.AppKey, appNonce, s.cfg.NetID, e.join.DevNonce)
+	if err != nil {
+		// Keys were validated at provisioning; failure here is unreachable
+		// short of memory corruption, but stay total.
+		s.nDrops++
+		s.met.onDropped()
+		s.dropReason[ReasonMalformed]++
+		return s.dropEvent(e, at, ReasonMalformed)
+	}
+	sess := &session{
+		devEUI: dev.dev.DevEUI, devAddr: addr, tenant: dev.dev.Tenant,
+		nwkSKey: nwk, appSKey: app, lastFCnt: -1,
+	}
+	dev.sess = sess
+	s.sessions[addr] = sess
+	s.nJoins++
+	s.met.onJoin()
+	s.shardStat(e.channel, e.sf).Delivered++
+
+	accept := &lorawan.JoinAcceptFrame{AppNonce: appNonce, NetID: s.cfg.NetID, DevAddr: addr, RxDelay: 1}
+	wire, err := accept.Marshal(dev.dev.AppKey)
+	if err != nil {
+		wire = nil
+	}
+	return Event{
+		Type:    "join",
+		TimeSec: at,
+		DevEUI:  dev.dev.DevEUI.String(),
+		DevAddr: addr.String(),
+		Channel: e.channel, SF: e.sf,
+		Gateway: e.bestGW, SNRdB: e.bestSNR,
+		Copies: e.copies, Gateways: e.gateways,
+		Tenant:     dev.dev.Tenant,
+		JoinAccept: wire,
+	}
+}
+
+// drop records an immediate (non-windowed) drop for one uplink.
+func (s *Server) drop(evs []Event, u *Uplink, t float64, reason string) []Event {
+	s.nDrops++
+	s.met.onDropped()
+	s.dropReason[reason]++
+	return append(evs, Event{
+		Type:    "drop",
+		TimeSec: t,
+		Channel: u.Channel, SF: u.SF,
+		Gateway: u.GatewayID, SNRdB: u.SNRdB,
+		Reason: reason,
+	})
+}
+
+// dropEvent builds a drop event for a windowed entry.
+func (s *Server) dropEvent(e *pendEntry, at float64, reason string) Event {
+	return Event{
+		Type:    "drop",
+		TimeSec: at,
+		Channel: e.channel, SF: e.sf,
+		Gateway: e.bestGW, SNRdB: e.bestSNR,
+		Copies: e.copies, Gateways: e.gateways,
+		Reason: reason,
+	}
+}
+
+// windowDrop records a deliver-time drop of a windowed data frame.
+func (s *Server) windowDrop(e *pendEntry, at float64, sess *session, reason string) Event {
+	s.nDrops++
+	s.met.onDropped()
+	s.dropReason[reason]++
+	ev := s.dropEvent(e, at, reason)
+	ev.DevEUI = sess.devEUI.String()
+	ev.DevAddr = sess.devAddr.String()
+	return ev
+}
+
+func (s *Server) shardStat(ch, sf int) *shardStat {
+	k := [2]int{ch, sf}
+	st, ok := s.shards[k]
+	if !ok {
+		st = &shardStat{}
+		s.shards[k] = st
+	}
+	return st
+}
+
+func (s *Server) updateGauges() {
+	s.met.setSessions(len(s.sessions))
+	s.met.setDedup(len(s.pend), s.pendBytes)
+}
+
+// payloadHash is the dedup fingerprint of the frame bytes.
+func payloadHash(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// ShardStats is one (channel, SF) row of the ops surface.
+type ShardStats struct {
+	Channel   int    `json:"channel"`
+	SF        int    `json:"sf"`
+	Uplinks   uint64 `json:"uplinks"`
+	Delivered uint64 `json:"delivered"`
+}
+
+// Stats is the /netserver ops snapshot.
+type Stats struct {
+	Devices       int               `json:"devices"`
+	Sessions      int               `json:"sessions"`
+	Uplinks       uint64            `json:"uplinks"`
+	Joins         uint64            `json:"joins"`
+	Delivered     uint64            `json:"delivered"`
+	DupSuppressed uint64            `json:"dup_suppressed"`
+	Dropped       uint64            `json:"dropped"`
+	QuotaDropped  uint64            `json:"quota_dropped"`
+	DedupPending  int               `json:"dedup_pending"`
+	DedupBytes    int64             `json:"dedup_bytes"`
+	Shards        []ShardStats      `json:"shards"`
+	Gateways      map[string]uint64 `json:"gateways"`
+	DropReasons   map[string]uint64 `json:"drop_reasons,omitempty"`
+}
+
+// Stats snapshots the server. Safe to call concurrently with Ingest.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Devices:       len(s.devices),
+		Sessions:      len(s.sessions),
+		Uplinks:       s.nUplinks,
+		Joins:         s.nJoins,
+		Delivered:     s.nDelivered,
+		DupSuppressed: s.nDups,
+		Dropped:       s.nDrops,
+		QuotaDropped:  s.nQuota,
+		DedupPending:  len(s.pend),
+		DedupBytes:    s.pendBytes,
+		Gateways:      make(map[string]uint64, len(s.gateways)),
+		DropReasons:   make(map[string]uint64, len(s.dropReason)),
+	}
+	for k, v := range s.gateways {
+		st.Gateways[k] = v
+	}
+	for k, v := range s.dropReason {
+		st.DropReasons[k] = v
+	}
+	for k, v := range s.shards {
+		st.Shards = append(st.Shards, ShardStats{Channel: k[0], SF: k[1], Uplinks: v.Uplinks, Delivered: v.Delivered})
+	}
+	sort.Slice(st.Shards, func(i, j int) bool {
+		if st.Shards[i].Channel != st.Shards[j].Channel {
+			return st.Shards[i].Channel < st.Shards[j].Channel
+		}
+		return st.Shards[i].SF < st.Shards[j].SF
+	})
+	return st
+}

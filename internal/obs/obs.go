@@ -89,12 +89,15 @@ const (
 	// ConnClientAbort: the transport died mid-stream (reset, broken pipe)
 	// without the protocol's half-close.
 	ConnClientAbort = "client_abort"
+	// ConnShardOverload: the connection's (channel, SF) decode shard kept a
+	// full queue past the grace period and the client was shed.
+	ConnShardOverload = "shard_overload"
 )
 
 // ConnEvents lists the connection-event taxonomy, for validation.
 var ConnEvents = []string{
 	ConnReadTimeout, ConnWriteTimeout, ConnHelloRejected, ConnOverloadShed,
-	ConnSampleLimit, ConnStreamOverflow, ConnClientAbort,
+	ConnSampleLimit, ConnStreamOverflow, ConnClientAbort, ConnShardOverload,
 }
 
 // ConnEvent records one gateway connection-level failure or degradation.

@@ -26,20 +26,28 @@ kraw=$(go test -bench 'BenchmarkDechirp$' -benchtime 200ms -run '^$' ./internal/
        go test -bench 'BenchmarkDechirpKernel$|BenchmarkForwardMag256$' -benchtime 200ms -run '^$' ./internal/dsp)
 echo "$kraw" >&2
 
-{ echo "$raw"; echo "===KERNELS==="; echo "$kraw"; } | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
+# Network-server ingest across verification widths: the mixed join/dedup/
+# data batch, reporting packets/sec and the dedup-table high-water bytes.
+fraw=$(go test -bench 'BenchmarkNetserverIngest/' -benchtime 200ms -run '^$' ./internal/netserver)
+echo "$fraw" >&2
+
+{ echo "$raw"; echo "===KERNELS==="; echo "$kraw"; echo "===FLEET==="; echo "$fraw"; } | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
 /^===KERNELS===$/ { kernels = 1; next }
+/^===FLEET===$/ { kernels = 0; fleet = 1; next }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
-    ns = ""; allocs = ""; bytes = ""; sps = ""
+    ns = ""; allocs = ""; bytes = ""; sps = ""; pps = ""; dbytes = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i-1)
         if ($(i) == "allocs/op") allocs = $(i-1)
         if ($(i) == "B/op") bytes = $(i-1)
         if ($(i) == "samples/sec") sps = $(i-1)
+        if ($(i) == "packets/s") pps = $(i-1)
+        if ($(i) == "dedup-bytes") dbytes = $(i-1)
     }
     if (ns == "") next
-    if (!kernels && name ~ /^BenchmarkReceiver\//) {
+    if (!kernels && !fleet && name ~ /^BenchmarkReceiver\//) {
         sub(/^BenchmarkReceiver\//, "", name)
         if (seen[name]++) next         # keep the first run of a repeated name
         order[n++] = name
@@ -49,6 +57,11 @@ echo "$kraw" >&2
         if (kseen[name]++) next
         korder[kn++] = name
         KNS[name] = ns
+    } else if (fleet && name ~ /^BenchmarkNetserverIngest\//) {
+        sub(/^BenchmarkNetserverIngest\//, "", name)
+        if (fseen[name]++) next
+        forder[fn++] = name
+        FPPS[name] = pps; FDB[name] = dbytes; FNS[name] = ns
     }
 }
 END {
@@ -76,6 +89,15 @@ END {
     for (i = 0; i < kn; i++) {
         name = korder[i]
         printf "    \"%s\": {\"ns_per_op\": %s}%s\n", name, KNS[name], (i < kn-1 ? "," : "")
+    }
+    printf "  },\n"
+    # Netserver ingest (BenchmarkNetserverIngest): the network-server layer
+    # over the mixed join/dedup/data batch, per verification width.
+    printf "  \"fleet\": {\n"
+    for (i = 0; i < fn; i++) {
+        name = forder[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"packets_per_sec\": %s, \"dedup_table_bytes\": %s}%s\n", \
+            name, FNS[name], FPPS[name], FDB[name], (i < fn-1 ? "," : "")
     }
     printf "  }\n"
     printf "}\n"
