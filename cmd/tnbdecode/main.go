@@ -30,19 +30,21 @@ import (
 	"tnb/internal/obs"
 	"tnb/internal/thrive"
 	"tnb/internal/trace"
+	"tnb/internal/tracestore"
 )
 
 func main() {
 	var (
-		sf       = flag.Int("sf", 8, "spreading factor of the trace")
-		osf      = flag.Int("osf", 8, "over-sampling factor")
-		bw       = flag.Float64("bw", 125e3, "bandwidth in Hz")
-		noBEC    = flag.Bool("nobec", false, "disable Block Error Correction")
-		scheme   = flag.String("scheme", "tnb", "tnb | thrive | sibling")
-		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
-		explain  = flag.Int("explain", -2, "print the decode trace of packet N (start order, decoded and failed); -1 lists all packets")
-		workers  = flag.Int("workers", 0, "receiver worker-pool width (0 = all cores, 1 = serial); output is identical for every value")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the decode to this file")
+		sf         = flag.Int("sf", 8, "spreading factor of the trace")
+		osf        = flag.Int("osf", 8, "over-sampling factor")
+		bw         = flag.Float64("bw", 125e3, "bandwidth in Hz")
+		noBEC      = flag.Bool("nobec", false, "disable Block Error Correction")
+		scheme     = flag.String("scheme", "tnb", "tnb | thrive | sibling")
+		traceOut   = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
+		traceStore = flag.String("trace-store", "", "persist decode traces in an indexed on-disk ring at this directory (query with tnbtrace -store)")
+		explain    = flag.Int("explain", -2, "print the decode trace of packet N (start order, decoded and failed); -1 lists all packets")
+		workers    = flag.Int("workers", 0, "receiver worker-pool width (0 = all cores, 1 = serial); output is identical for every value")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the decode to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -92,15 +94,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	var tracer *obs.Tracer
-	if traceFile != nil || *explain >= -1 {
-		var sink *os.File
-		if traceFile != nil {
-			sink = traceFile
+	var store *tracestore.Store
+	if *traceStore != "" {
+		store, err = tracestore.Open(tracestore.Options{Dir: *traceStore})
+		if err != nil {
+			log.Fatalf("trace-store: %v", err)
 		}
-		opts := obs.Options{RingSize: 1 << 14}
-		if sink != nil {
-			opts.Sink = sink
+	}
+	var tracer *obs.Tracer
+	if traceFile != nil || store != nil || *explain >= -1 {
+		opts := obs.Options{RingSize: 1 << 14, Spill: store}
+		if traceFile != nil {
+			opts.Sink = traceFile
 		}
 		tracer = obs.New(opts)
 		cfg.Tracer = tracer
@@ -129,6 +134,11 @@ func main() {
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			log.Fatalf("trace-out: %v", err)
+		}
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Fatalf("trace-store: %v", err)
 		}
 	}
 }

@@ -14,9 +14,12 @@
 //	GET /metrics.json   the same registry as JSON
 //	GET /healthz        liveness
 //	GET /debug/traces   ring of recent per-packet decode traces (JSON)
+//	GET /debug/traces/query  indexed queries over the -trace-store ring
 //	GET /debug/pprof/   CPU/heap/goroutine profiles (net/http/pprof)
 //
-// -trace-out additionally exports every decode trace as JSONL.
+// -trace-out additionally exports every decode trace as JSONL, and
+// -trace-store persists them in an indexed on-disk ring queryable live
+// (/debug/traces/query) or offline (tnbtrace -store).
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"tnb/internal/gateway"
 	"tnb/internal/metrics"
 	"tnb/internal/obs"
+	"tnb/internal/tracestore"
 )
 
 func main() {
@@ -42,6 +46,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
 	traceOut := flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file")
 	traceRing := flag.Int("trace-ring", 256, "decode traces kept for GET /debug/traces")
+	traceStore := flag.String("trace-store", "", "persist decode traces in an indexed on-disk ring at this directory")
+	gatewayID := flag.String("gateway-id", "", "gateway name stamped into every trace record's origin")
 	workers := flag.Int("workers", 0, "receiver worker-pool width per connection (0 = all cores, 1 = serial); output is identical for every value")
 	readTimeout := flag.Duration("read-timeout", 0, "per-read client deadline (0 = 2m default, negative disables)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-write client deadline (0 = 30s default, negative disables)")
@@ -69,9 +75,22 @@ func main() {
 		defer f.Close()
 		sink = f
 	}
-	tracer := obs.New(obs.Options{Sink: sink, RingSize: *traceRing})
+	var store *tracestore.Store
+	if *traceStore != "" {
+		st, err := tracestore.Open(tracestore.Options{
+			Dir: *traceStore, Metrics: tracestore.NewMetrics(metrics.Default),
+		})
+		if err != nil {
+			log.Error("trace-store", "err", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		store = st
+	}
+	tracer := obs.New(obs.Options{Sink: sink, Spill: store, RingSize: *traceRing})
 
 	srv := &gateway.Server{
+		ID:       *gatewayID,
 		Registry: metrics.Default, Tracer: tracer, Log: log, Workers: *workers,
 		ReadTimeout: *readTimeout, WriteTimeout: *writeTimeout,
 		MaxConns: *maxConns, MaxSamplesPerConn: *maxSamples,
@@ -80,6 +99,9 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/", metrics.Handler(metrics.Default))
 		mux.Handle("/debug/traces", tracer.Handler())
+		if store != nil {
+			mux.Handle("/debug/traces/query", store.Handler())
+		}
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -87,7 +109,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			log.Info("ops endpoint listening", "addr", *metricsAddr,
-				"paths", "/metrics /metrics.json /healthz /debug/traces /debug/pprof/")
+				"paths", "/metrics /metrics.json /healthz /debug/traces /debug/traces/query /debug/pprof/")
 			if err := metrics.ListenAndServeHandler(ctx, *metricsAddr, mux); err != nil {
 				log.Error("ops endpoint failed", "err", err)
 				os.Exit(1)

@@ -23,6 +23,11 @@
 //	GET /healthz      liveness
 //	GET /netserver    netserver stats (sessions, dedup, quotas, per-shard)
 //
+// With -trace-store DIR, every netserver drop (and, under -phy, every
+// gateway trace record) is persisted to a crash-safe indexed store in DIR
+// and can be queried live via GET /debug/traces/query or offline with
+// tnbtrace -store DIR.
+//
 // -summary writes the final run report (activation, event and drop
 // counters, per-shard traffic) as JSON to a file, for scripts.
 package main
@@ -48,7 +53,9 @@ import (
 	"tnb/internal/lora"
 	"tnb/internal/metrics"
 	"tnb/internal/netserver"
+	"tnb/internal/obs"
 	"tnb/internal/trace"
+	"tnb/internal/tracestore"
 )
 
 func main() {
@@ -68,6 +75,7 @@ func main() {
 	quotaRate := flag.Float64("quota-rate", 0, "per-tenant delivery quota, deliveries/sec (0 = unlimited)")
 	quotaBurst := flag.Float64("quota-burst", 2, "per-tenant quota burst depth")
 	metricsAddr := flag.String("metrics", "", "HTTP ops listen address (e.g. :9091); empty disables")
+	traceStore := flag.String("trace-store", "", "persist netserver drop traces (and, with -phy, gateway traces) to an indexed store in this directory")
 	summary := flag.String("summary", "", "write the final run report as JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress logs (events still go to stdout)")
 	flag.Parse()
@@ -83,7 +91,7 @@ func main() {
 		duration: *duration, corrupt: *corrupt,
 		phy: *phy, osf: *osf, workers: *workers, batch: *batch,
 		dedupWindow: *dedupWindow, quotaRate: *quotaRate, quotaBurst: *quotaBurst,
-		metricsAddr: *metricsAddr, summary: *summary,
+		metricsAddr: *metricsAddr, summary: *summary, traceStore: *traceStore,
 	}); err != nil {
 		log.Error("tnbnet failed", "err", err)
 		os.Exit(1)
@@ -100,7 +108,7 @@ type config struct {
 	phy                                bool
 	osf, workers, batch                int
 	dedupWindow, quotaRate, quotaBurst float64
-	metricsAddr, summary               string
+	metricsAddr, summary, traceStore   string
 }
 
 func run(log *slog.Logger, cfg config) error {
@@ -130,10 +138,25 @@ func run(log *slog.Logger, cfg config) error {
 		return err
 	}
 
+	var store *tracestore.Store
+	var tracer *obs.Tracer
+	if cfg.traceStore != "" {
+		store, err = tracestore.Open(tracestore.Options{
+			Dir:     cfg.traceStore,
+			Metrics: tracestore.NewMetrics(metrics.Default),
+		})
+		if err != nil {
+			return fmt.Errorf("open trace store: %w", err)
+		}
+		tracer = obs.New(obs.Options{Spill: store})
+		defer store.Close()
+	}
+
 	nsCfg := netserver.Config{
 		DedupWindowSec: cfg.dedupWindow,
 		Workers:        cfg.workers,
 		Devices:        f.Devices(),
+		Tracer:         tracer,
 	}
 	if cfg.quotaRate > 0 {
 		nsCfg.Quotas = map[string]netserver.Quota{}
@@ -155,6 +178,9 @@ func run(log *slog.Logger, cfg config) error {
 		mux := http.NewServeMux()
 		mux.Handle("/", metrics.Handler(metrics.Default))
 		mux.Handle("/netserver", ns.Handler())
+		if store != nil {
+			mux.Handle("/debug/traces/query", store.Handler())
+		}
 		go func() {
 			log.Info("ops endpoint listening", "addr", cfg.metricsAddr,
 				"paths", "/metrics /metrics.json /healthz /netserver")
@@ -169,12 +195,20 @@ func run(log *slog.Logger, cfg config) error {
 
 	var rep fleet.Report
 	if cfg.phy {
-		rep, err = runPHY(log, f, ns, cfg, emit)
+		rep, err = runPHY(log, f, ns, cfg, tracer, emit)
 	} else {
 		rep, err = fleet.Drive(f, ns, cfg.batch, emit)
 	}
 	if err != nil {
 		return err
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("trace store: %w", err)
+		}
+		if n := store.Dropped(); n > 0 {
+			log.Warn("trace store dropped records under backpressure", "dropped", n)
+		}
 	}
 	log.Info("run complete",
 		"activated", rep.Activated, "events", rep.Events,
@@ -199,7 +233,7 @@ func run(log *slog.Logger, cfg config) error {
 // gateway, each (channel, SF) group of receptions is rendered to IQ and
 // decoded by a loopback gateway server — landing on that server's
 // (channel, SF) shard — before the reports are handed to the netserver.
-func runPHY(log *slog.Logger, f *fleet.Fleet, ns *netserver.Server, cfg config, emit func(netserver.Event)) (fleet.Report, error) {
+func runPHY(log *slog.Logger, f *fleet.Fleet, ns *netserver.Server, cfg config, tracer *obs.Tracer, emit func(netserver.Event)) (fleet.Report, error) {
 	var rep fleet.Report
 	sink := func(evs []netserver.Event) []netserver.Event {
 		rep.Events += len(evs)
@@ -255,7 +289,7 @@ func runPHY(log *slog.Logger, f *fleet.Fleet, ns *netserver.Server, cfg config, 
 	for _, k := range keys {
 		srv := servers[k.gw]
 		if srv == nil {
-			srv, err = startGateway(log, cfg.workers)
+			srv, err = startGateway(log, cfg.workers, k.gw, tracer)
 			if err != nil {
 				return rep, err
 			}
@@ -319,14 +353,14 @@ type gwServer struct {
 	done   chan error
 }
 
-func startGateway(log *slog.Logger, workers int) (*gwServer, error) {
+func startGateway(log *slog.Logger, workers int, id string, tracer *obs.Tracer) (*gwServer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &gwServer{
-		srv:    &gateway.Server{Log: log, Workers: workers},
+		srv:    &gateway.Server{Log: log, Workers: workers, ID: id, Tracer: tracer},
 		addr:   ln.Addr().String(),
 		cancel: cancel,
 		done:   make(chan error, 1),

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime/pprof"
@@ -21,21 +22,23 @@ import (
 	"tnb/internal/metrics"
 	"tnb/internal/obs"
 	"tnb/internal/sim"
+	"tnb/internal/tracestore"
 )
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 12, "figure number to regenerate")
-		sf       = flag.Int("sf", 8, "spreading factor (8 or 10 in the paper)")
-		cr       = flag.Int("cr", 4, "coding rate for single-CR figures")
-		duration = flag.Float64("duration", 4, "seconds per run (paper: 30)")
-		runs     = flag.Int("runs", 1, "runs averaged per point (paper: 3)")
-		nodes    = flag.Int("nodes", 0, "override node count (0 = paper's)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		metaOut  = flag.String("metrics-out", "", "write the pipeline metrics registry as JSON to this file (same schema as the gateway's /metrics.json)")
-		traceOut = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file (TnB-family schemes only)")
-		workers  = flag.Int("workers", 1, "receiver worker-pool width per decode (0 = all cores, 1 = serial); output is identical for every value")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		fig        = flag.Int("fig", 12, "figure number to regenerate")
+		sf         = flag.Int("sf", 8, "spreading factor (8 or 10 in the paper)")
+		cr         = flag.Int("cr", 4, "coding rate for single-CR figures")
+		duration   = flag.Float64("duration", 4, "seconds per run (paper: 30)")
+		runs       = flag.Int("runs", 1, "runs averaged per point (paper: 3)")
+		nodes      = flag.Int("nodes", 0, "override node count (0 = paper's)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		metaOut    = flag.String("metrics-out", "", "write the pipeline metrics registry as JSON to this file (same schema as the gateway's /metrics.json)")
+		traceOut   = flag.String("trace-out", "", "write per-packet decode traces as JSONL to this file (TnB-family schemes only)")
+		traceStore = flag.String("trace-store", "", "persist decode traces in an indexed on-disk ring at this directory (query with tnbtrace -store)")
+		workers    = flag.Int("workers", 1, "receiver worker-pool width per decode (0 = all cores, 1 = serial); output is identical for every value")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 	sim.SetWorkers(*workers)
@@ -53,13 +56,27 @@ func main() {
 	}
 
 	var traceFile *os.File
+	var sink io.Writer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatalf("trace-out: %v", err)
 		}
 		traceFile = f
-		sim.SetTracer(obs.New(obs.Options{Sink: f}))
+		sink = f
+	}
+	var store *tracestore.Store
+	if *traceStore != "" {
+		st, err := tracestore.Open(tracestore.Options{
+			Dir: *traceStore, Metrics: tracestore.NewMetrics(metrics.Default),
+		})
+		if err != nil {
+			log.Fatalf("trace-store: %v", err)
+		}
+		store = st
+	}
+	if sink != nil || store != nil {
+		sim.SetTracer(obs.New(obs.Options{Sink: sink, Spill: store}))
 	}
 
 	scale := sim.FigureScale{
@@ -182,6 +199,11 @@ func main() {
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			log.Fatalf("trace-out: %v", err)
+		}
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Fatalf("trace-store: %v", err)
 		}
 	}
 }

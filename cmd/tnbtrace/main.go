@@ -1,5 +1,6 @@
 // tnbtrace inspects JSONL decode-trace files produced by tnbsim, tnbdecode
-// and tnbgateway (-trace-out).
+// and tnbgateway (-trace-out), and indexed trace stores written with
+// -trace-store.
 //
 // Usage:
 //
@@ -8,6 +9,13 @@
 //	tnbtrace -explain 0 traces.jsonl # render one packet trace
 //
 // With no file argument, stdin is read.
+//
+// With -store DIR the same verbs run against an indexed trace store, and
+// the filter flags select records (NDJSON on stdout, newest first):
+//
+//	tnbtrace -store traces.d -check              # segment + index integrity
+//	tnbtrace -store traces.d -summary            # failure-reason breakdown
+//	tnbtrace -store traces.d -reason bec_budget_exhausted -channel 3 -limit 100
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"sort"
 
 	"tnb/internal/obs"
+	"tnb/internal/tracestore"
 )
 
 func main() {
@@ -28,8 +37,23 @@ func main() {
 		check   = flag.Bool("check", false, "validate every record against the trace schema; non-zero exit on the first violation")
 		summary = flag.Bool("summary", false, "print per-type record counts and the failure-reason breakdown")
 		explain = flag.Int("explain", -1, "render packet trace N (file order, final verdicts only)")
+		store   = flag.String("store", "", "operate on an indexed trace store directory instead of a JSONL file")
+		qType   = flag.String("type", "", "store query: comma-separated record types (packet,detect,stream,conn,net)")
+		reason  = flag.String("reason", "", "store query: failure/drop reason")
+		channel = flag.String("channel", "", "store query: channel")
+		sf      = flag.String("sf", "", "store query: spreading factor")
+		gateway = flag.String("gateway", "", "store query: gateway ID")
+		since   = flag.String("since", "", "store query: minimum appended-at unix time, seconds")
+		limit   = flag.String("limit", "", "store query: row cap, newest first (default 100, -1 = all)")
 	)
 	flag.Parse()
+	if *store != "" {
+		runStore(*store, *check, *summary, *explain, map[string][]string{
+			"type": {*qType}, "reason": {*reason}, "channel": {*channel},
+			"sf": {*sf}, "gateway": {*gateway}, "since": {*since}, "limit": {*limit},
+		})
+		return
+	}
 	if !*check && !*summary && *explain < 0 {
 		*summary = true
 	}
@@ -141,6 +165,86 @@ func explainNth(data []byte, n int) {
 		log.Fatalf("explain: packet %d out of range (%d final traces)", n, len(final))
 	}
 	obs.Explain(os.Stdout, final[n])
+}
+
+// runStore is the -store entry point: integrity check, summary/explain
+// over the packet records, or a filtered query printed as NDJSON newest
+// first. The store is opened read-only, so it is safe against a live
+// writer and never mutates what a crashed one left behind.
+func runStore(dir string, check, summary bool, explain int, qv map[string][]string) {
+	if check {
+		res, err := tracestore.Check(dir)
+		if err != nil {
+			log.Fatalf("%s: %v", dir, err)
+		}
+		total := 0
+		for _, n := range res.Records {
+			total += n
+		}
+		if total == 0 {
+			log.Fatalf("%s: no trace records", dir)
+		}
+		fmt.Printf("%s: %d segments, %d records valid (", dir, res.Segments, total)
+		printCounts(res.Records)
+		fmt.Print(")")
+		if res.TornTail {
+			fmt.Print(", torn tail pending truncation on next writable open")
+		}
+		fmt.Println()
+	}
+
+	filtered := false
+	for _, vs := range qv {
+		for _, v := range vs {
+			if v != "" {
+				filtered = true
+			}
+		}
+	}
+	queryMode := filtered || (!check && !summary && explain < 0)
+	if !summary && explain < 0 && !queryMode {
+		return
+	}
+
+	ro, err := tracestore.Open(tracestore.Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		log.Fatalf("%s: %v", dir, err)
+	}
+	if summary || explain >= 0 {
+		res, err := ro.Query(tracestore.Query{Types: []string{obs.TypePacket}, Limit: -1})
+		if err != nil {
+			log.Fatalf("%s: %v", dir, err)
+		}
+		// Query returns newest first; summaries and -explain indices follow
+		// append order, so flip back.
+		var data []byte
+		for i := len(res) - 1; i >= 0; i-- {
+			data = append(data, res[i].Record...)
+			data = append(data, '\n')
+		}
+		if summary {
+			printSummary(dir, data)
+		}
+		if explain >= 0 {
+			explainNth(data, explain)
+		}
+	}
+	if queryMode {
+		q, err := tracestore.ParseQuery(qv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ro.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", dir, err)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		for _, r := range res {
+			w.Write(r.Record)
+			w.WriteByte('\n')
+		}
+		w.Flush()
+	}
 }
 
 func packetTraces(data []byte) []*obs.PacketTrace {

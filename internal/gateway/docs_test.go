@@ -11,6 +11,7 @@ import (
 	"tnb/internal/metrics"
 	"tnb/internal/netserver"
 	"tnb/internal/stream"
+	"tnb/internal/tracestore"
 )
 
 // TestMetricsDocumented keeps the README metric table exact in both
@@ -27,6 +28,7 @@ func TestMetricsDocumented(t *testing.T) {
 	stream.NewMetrics(reg)
 	core.NewPipelineMetrics(reg)
 	netserver.NewMetrics(reg)
+	tracestore.NewMetrics(reg)
 	NewShardMetrics(reg, ShardKey{Channel: 0, SF: 8})
 
 	registered := map[string]bool{}

@@ -127,6 +127,11 @@ const (
 
 // Server decodes LoRa IQ streams for its clients.
 type Server struct {
+	// ID names this gateway in the fleet. It is stamped (with each
+	// connection's channel and SF) into the origin of every trace record
+	// the server emits, so a shared trace store can be filtered by
+	// gateway. Empty is fine for single-gateway deployments.
+	ID string
 	// Log receives structured connection-level diagnostics with
 	// per-connection attributes (remote addr, radio parameters, packet
 	// counts); nil silences them, matching the old nil-Logf behavior.
@@ -453,6 +458,10 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 	if tracer == nil && hello.Trace {
 		tracer = obs.New(obs.Options{})
 	}
+	// From here on every trace record carries the connection's fleet
+	// position; pre-hello events above can't, since the channel is only
+	// known once the hello parses.
+	tracer = tracer.WithOrigin(obs.Origin{Gateway: s.ID, Channel: hello.Channel, SF: params.SF})
 
 	st, err := stream.New(stream.Config{
 		Receiver:         core.Config{Params: params, UseBEC: useBEC, Workers: s.Workers, Metrics: pmet, Tracer: tracer},
@@ -475,7 +484,7 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 		var soe *ShardOverloadError
 		if errors.As(err, &soe) {
 			met.onShardOverload()
-			s.Tracer.OnConn(obs.ConnShardOverload, remote, soe.Error())
+			tracer.OnConn(obs.ConnShardOverload, remote, soe.Error())
 			log.Warn("connection shed at shard queue", "shard", key.String())
 			replyErr(CodeShardOverload, soe.Error())
 		}
@@ -530,13 +539,13 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 		switch {
 		case isTimeout(err) && writing:
 			met.onWriteTimeout()
-			s.Tracer.OnConn(obs.ConnWriteTimeout, remote, err.Error())
+			tracer.OnConn(obs.ConnWriteTimeout, remote, err.Error())
 		case isTimeout(err):
 			met.onReadTimeout()
-			s.Tracer.OnConn(obs.ConnReadTimeout, remote, err.Error())
+			tracer.OnConn(obs.ConnReadTimeout, remote, err.Error())
 		default:
 			met.onClientAbort()
-			s.Tracer.OnConn(obs.ConnClientAbort, remote, err.Error())
+			tracer.OnConn(obs.ConnClientAbort, remote, err.Error())
 		}
 		return err
 	}
@@ -561,7 +570,7 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 			samplesFed += int64(len(samples))
 			if s.MaxSamplesPerConn > 0 && samplesFed > s.MaxSamplesPerConn {
 				met.onSampleLimit()
-				s.Tracer.OnConn(obs.ConnSampleLimit, remote,
+				tracer.OnConn(obs.ConnSampleLimit, remote,
 					fmt.Sprintf("fed %d samples, cap %d", samplesFed, s.MaxSamplesPerConn))
 				log.Warn("sample cap exceeded", "cap", s.MaxSamplesPerConn)
 				replyErr(CodeSampleLimit, fmt.Sprintf("connection exceeded its %d-sample cap", s.MaxSamplesPerConn))
@@ -571,7 +580,7 @@ func (s *Server) handle(conn net.Conn, log *slog.Logger) error {
 				var oe *stream.OverflowError
 				if errors.As(err, &oe) {
 					met.onStreamOverflow()
-					s.Tracer.OnConn(obs.ConnStreamOverflow, remote, oe.Error())
+					tracer.OnConn(obs.ConnStreamOverflow, remote, oe.Error())
 					replyErr(CodeStreamOverflow, oe.Error())
 					return nil
 				}

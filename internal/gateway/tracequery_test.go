@@ -1,0 +1,151 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"tnb/internal/lora"
+	"tnb/internal/obs"
+	"tnb/internal/trace"
+	"tnb/internal/tracestore"
+)
+
+// TestTraceQueryEndpointDeterministic is the fleet-debugging acceptance
+// path end to end: a live gateway decodes a collided trace on channel 3
+// while spilling every trace record into a persistent store, and the
+// /debug/traces/query endpoint answers filtered questions about the run.
+// Because trace emission is deterministic at every worker-pool width, the
+// HTTP response bytes must be identical for -workers 1, 2 and 4.
+func TestTraceQueryEndpointDeterministic(t *testing.T) {
+	p := lora.MustParams(8, 4, 125e3, 2)
+	rng := rand.New(rand.NewSource(77))
+	b := trace.NewBuilder(p, 1.0, 1, rng)
+	starts := b.ScheduleUniform(5, 14)
+	for i, s := range starts {
+		payload := make([]uint8, 14)
+		rng.Read(payload)
+		if err := b.AddPacket(i, 0, payload, s, 10, -3000+float64(i)*1200, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, _ := b.Build()
+
+	// run decodes the trace at one worker width and returns the HTTP body
+	// for the given query string against that run's store.
+	run := func(workers int, query string) string {
+		t.Helper()
+		st, err := tracestore.Open(tracestore.Options{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &Server{
+			Log: testLogger(t), Workers: workers,
+			ID: "gw-e2e", Tracer: obs.New(obs.Options{Spill: st}),
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx, ln) }()
+		defer func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Error("gateway did not stop")
+			}
+		}()
+
+		c, err := Dial(ln.Addr().String(), Hello{SF: 8, CR: 4, OSF: 2, Channel: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Send(tr.Antennas[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		st.Flush()
+
+		hs := httptest.NewServer(st.Handler())
+		defer hs.Close()
+		resp, err := http.Get(hs.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d %s: status %d: %s", workers, query, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	// Packet records on channel 3, newest first — the everyday triage query.
+	const packetQuery = "?type=packet&channel=3&limit=100"
+	ref := run(1, packetQuery)
+	if ref == "" {
+		t.Fatal("serial run produced no packet records on channel 3")
+	}
+
+	// Every record carries the origin the server stamped at hello time, and
+	// the run surfaces at least one failure reason to filter on.
+	var reasons []string
+	for _, line := range splitLines(ref) {
+		m, err := obs.MetaOf([]byte(line))
+		if err != nil {
+			t.Fatalf("bad record in response: %v", err)
+		}
+		if m.Gateway != "gw-e2e" || m.Channel != 3 || m.SF != 8 {
+			t.Fatalf("record origin = %s/%d/%d, want gw-e2e/3/8", m.Gateway, m.Channel, m.SF)
+		}
+		if m.Reason != "" {
+			reasons = append(reasons, m.Reason)
+		}
+	}
+	if len(reasons) == 0 {
+		t.Fatal("collided trace produced no failure reasons to query by")
+	}
+	sort.Strings(reasons)
+	reasonQuery := "?reason=" + reasons[0] + "&channel=3&limit=100"
+	refReason := run(1, reasonQuery)
+	if len(splitLines(refReason)) == 0 {
+		t.Fatalf("reason query %s returned no rows", reasonQuery)
+	}
+
+	for _, workers := range []int{2, 4} {
+		if got := run(workers, packetQuery); got != ref {
+			t.Errorf("workers=%d: %s diverged from serial run\nserial:\n%s\nparallel:\n%s",
+				workers, packetQuery, ref, got)
+		}
+		if got := run(workers, reasonQuery); got != refReason {
+			t.Errorf("workers=%d: %s diverged from serial run", workers, reasonQuery)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"tnb/internal/lorawan"
+	"tnb/internal/obs"
 	"tnb/internal/parallel"
 )
 
@@ -102,6 +103,12 @@ type Config struct {
 	Quotas map[string]Quota
 	// Metrics receives the netserver instruments; nil disables them.
 	Metrics *Metrics
+	// Tracer, when non-nil, mirrors every drop event into the trace
+	// stream as an obs "net" record (reason, logical time, origin), so a
+	// trace store can answer "which gateway fed the bad_mic frames".
+	// Emission happens in the serial commit phase, so record order is
+	// identical at every Workers width.
+	Tracer *obs.Tracer
 }
 
 // Event is one netserver output record, emitted as a JSON line by the
@@ -605,7 +612,9 @@ func (s *Server) executeJoin(e *pendEntry, at float64) Event {
 		s.nDrops++
 		s.met.onDropped()
 		s.dropReason[ReasonMalformed]++
-		return s.dropEvent(e, at, ReasonMalformed)
+		ev := s.dropEvent(e, at, ReasonMalformed)
+		s.traceDrop(ev)
+		return ev
 	}
 	sess := &session{
 		devEUI: dev.dev.DevEUI, devAddr: addr, tenant: dev.dev.Tenant,
@@ -640,12 +649,26 @@ func (s *Server) drop(evs []Event, u *Uplink, t float64, reason string) []Event 
 	s.nDrops++
 	s.met.onDropped()
 	s.dropReason[reason]++
-	return append(evs, Event{
+	ev := Event{
 		Type:    "drop",
 		TimeSec: t,
 		Channel: u.Channel, SF: u.SF,
 		Gateway: u.GatewayID, SNRdB: u.SNRdB,
 		Reason: reason,
+	}
+	s.traceDrop(ev)
+	return append(evs, ev)
+}
+
+// traceDrop mirrors one drop event into the trace stream.
+func (s *Server) traceDrop(ev Event) {
+	s.cfg.Tracer.OnNet(obs.NetEvent{
+		Event:   obs.NetDrop,
+		Reason:  ev.Reason,
+		TimeSec: ev.TimeSec,
+		DevEUI:  ev.DevEUI,
+		DevAddr: ev.DevAddr,
+		Origin:  &obs.Origin{Gateway: ev.Gateway, Channel: ev.Channel, SF: ev.SF},
 	})
 }
 
@@ -669,6 +692,7 @@ func (s *Server) windowDrop(e *pendEntry, at float64, sess *session, reason stri
 	ev := s.dropEvent(e, at, reason)
 	ev.DevEUI = sess.devEUI.String()
 	ev.DevAddr = sess.devAddr.String()
+	s.traceDrop(ev)
 	return ev
 }
 

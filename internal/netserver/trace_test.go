@@ -1,0 +1,44 @@
+package netserver
+
+import (
+	"testing"
+
+	"tnb/internal/obs"
+	"tnb/internal/tracestore"
+)
+
+// TestDropsFlowIntoTraceStore wires a netserver's tracer into a trace
+// store and checks that drop-taxonomy events come back out of a query with
+// their reason and gateway origin intact.
+func TestDropsFlowIntoTraceStore(t *testing.T) {
+	st, err := tracestore.Open(tracestore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	dev := testDevice(7)
+	tracer := obs.New(obs.Options{Spill: st})
+	s := mustServer(t, Config{Devices: []Device{dev}, Workers: 1, Tracer: tracer})
+
+	badMIC := joinWire(t, dev, 1)
+	badMIC[len(badMIC)-1] ^= 0xFF
+	ingest(t, s, Uplink{GatewayID: "gw-x", Channel: 3, SF: 9, TimeSec: 1, Payload: badMIC})
+	ingest(t, s, Uplink{GatewayID: "gw-y", Channel: 0, SF: 7, TimeSec: 2, Payload: nil})
+	st.Flush()
+
+	res, err := st.Query(tracestore.Query{Reason: ReasonBadMIC})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("bad_mic query: %d results (%v), want 1", len(res), err)
+	}
+	m, err := obs.MetaOf(res[0].Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != obs.TypeNet || m.Gateway != "gw-x" || m.Channel != 3 || m.SF != 9 {
+		t.Errorf("stored drop meta = %+v, want net/gw-x/3/9", m)
+	}
+	if res, _ := st.Query(tracestore.Query{Types: []string{obs.TypeNet}, Limit: -1}); len(res) != 2 {
+		t.Errorf("net-type query returned %d records, want 2", len(res))
+	}
+}

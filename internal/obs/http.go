@@ -40,12 +40,8 @@ func (t *Tracer) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if t != nil {
-			// Hold the lock while encoding: ring entries can still be
-			// mutated by SetAbsStart, which synchronizes on this mutex.
-			t.mu.Lock()
-			defer t.mu.Unlock()
-		}
+		// Snapshot returned detached copies, so encoding happens entirely
+		// outside the tracer lock: a slow reader can't stall the decoders.
 		_ = enc.Encode(resp)
 	})
 }

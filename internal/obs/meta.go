@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// RecordMeta is the queryable digest of one trace record: the fields the
+// persistent trace store (internal/tracestore) indexes. Reason collapses
+// each record type's discriminating string into one column — a packet's
+// failure_reason, a detect rejection's reason, a stream or conn record's
+// event, a net record's drop reason — so one filter answers "show me the
+// bec_budget_exhausted packets" and "show me the shard_overload conns"
+// alike. Channel and SF are -1 when the record carries no Origin.
+type RecordMeta struct {
+	Type    string
+	Reason  string
+	Channel int
+	SF      int
+	Gateway string
+}
+
+// Spill receives every record a Tracer exports, already encoded as one
+// JSONL line (without the trailing newline), together with its index
+// digest. The line is only valid for the duration of the call;
+// implementations that retain it must copy. Spill calls happen under the
+// tracer lock, in emission order, so a store sees the exact byte sequence
+// the JSONL sink would — the property that makes query results identical
+// across worker-pool widths.
+type Spill interface {
+	Append(line []byte, m RecordMeta)
+}
+
+// MetaOf parses the index digest back out of an encoded record line. It is
+// the exact inverse of the digests a Tracer hands its Spill, so a store can
+// rebuild its index from segment bytes alone: crash recovery and offline
+// query need nothing but the JSONL files.
+func MetaOf(line []byte) (RecordMeta, error) {
+	var p struct {
+		Type          string  `json:"type"`
+		FailureReason string  `json:"failure_reason"`
+		Reason        string  `json:"reason"`
+		Event         string  `json:"event"`
+		Origin        *Origin `json:"origin"`
+	}
+	if err := json.Unmarshal(line, &p); err != nil {
+		return RecordMeta{}, err
+	}
+	if p.Type == "" {
+		return RecordMeta{}, errors.New(`record has no "type" field`)
+	}
+	var reason string
+	switch p.Type {
+	case TypePacket:
+		reason = p.FailureReason
+	case TypeDetect, TypeNet:
+		reason = p.Reason
+	case TypeStream, TypeConn:
+		reason = p.Event
+	}
+	return metaFor(p.Type, reason, p.Origin), nil
+}
+
+// metaFor builds the digest the Tracer attaches to each spilled record.
+func metaFor(typ, reason string, o *Origin) RecordMeta {
+	m := RecordMeta{Type: typ, Reason: reason, Channel: -1, SF: -1}
+	if o != nil {
+		m.Channel, m.SF, m.Gateway = o.Channel, o.SF, o.Gateway
+	}
+	return m
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// recordingSpill captures every spilled line and digest, copying the line as
+// the Spill contract requires.
+type recordingSpill struct {
+	lines []string
+	metas []RecordMeta
+}
+
+func (s *recordingSpill) Append(line []byte, m RecordMeta) {
+	s.lines = append(s.lines, string(line))
+	s.metas = append(s.metas, m)
+}
+
+func TestSpillSeesSameBytesAsSink(t *testing.T) {
+	var buf bytes.Buffer
+	sp := &recordingSpill{}
+	tr := New(Options{Sink: &buf, Spill: sp, RingSize: 4})
+	tr = tr.WithOrigin(Origin{Gateway: "gw-a", Channel: 3, SF: 8})
+
+	pt := tr.NewPacket(tr.NextWindow(), 0, 1, Detection{SNRdB: -5})
+	pt.Final = true
+	pt.FailureReason = FailBECBudget
+	tr.Finish(pt)
+	tr.OnConn(ConnShardOverload, "1.2.3.4:5", "queue full")
+	tr.OnNet(NetEvent{Event: NetDrop, Reason: "bad_mic", TimeSec: 1.5})
+
+	sinkLines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(sinkLines) != 3 || len(sp.lines) != 3 {
+		t.Fatalf("want 3 records in sink and spill, got %d and %d", len(sinkLines), len(sp.lines))
+	}
+	for i := range sinkLines {
+		if sinkLines[i] != sp.lines[i] {
+			t.Errorf("record %d: sink and spill bytes differ:\n  sink:  %s\n  spill: %s", i, sinkLines[i], sp.lines[i])
+		}
+	}
+
+	want := []RecordMeta{
+		{Type: TypePacket, Reason: "bec_budget_exhausted", Channel: 3, SF: 8, Gateway: "gw-a"},
+		{Type: TypeConn, Reason: "shard_overload", Channel: 3, SF: 8, Gateway: "gw-a"},
+		{Type: TypeNet, Reason: "bad_mic", Channel: 3, SF: 8, Gateway: "gw-a"},
+	}
+	for i, m := range sp.metas {
+		if m != want[i] {
+			t.Errorf("record %d meta = %+v, want %+v", i, m, want[i])
+		}
+	}
+}
+
+// TestMetaOfInvertsSpillDigest pins the contract the trace store relies on:
+// re-parsing a spilled line yields exactly the digest the tracer attached,
+// for every record type, with and without an origin.
+func TestMetaOfInvertsSpillDigest(t *testing.T) {
+	run := func(name string, tr *Tracer) {
+		sp := &recordingSpill{}
+		tr.s.spill = sp
+		pt := tr.NewPacket(1, 0, 2, Detection{Quality: 1})
+		pt.Final = true
+		pt.OK = true
+		pt.DataSymbols = 10
+		pt.AirtimeSec = 0.1
+		tr.Finish(pt)
+		tr.OnDetect(DetectEvent{Accepted: false, Reason: "weak_peak"})
+		tr.OnStream("dedup", 123)
+		tr.OnConn(ConnReadTimeout, "r", "")
+		tr.OnNet(NetEvent{Event: NetDrop, Reason: "replayed_fcnt"})
+		for i, line := range sp.lines {
+			got, err := MetaOf([]byte(line))
+			if err != nil {
+				t.Fatalf("%s record %d: MetaOf: %v", name, i, err)
+			}
+			if got != sp.metas[i] {
+				t.Errorf("%s record %d: MetaOf = %+v, spill digest %+v", name, i, got, sp.metas[i])
+			}
+		}
+	}
+	run("no-origin", New(Options{}))
+	run("origin", New(Options{}).WithOrigin(Origin{Gateway: "g", Channel: 0, SF: 12}))
+}
+
+func TestMetaOfRejectsGarbage(t *testing.T) {
+	if _, err := MetaOf([]byte(`{"type":`)); err == nil {
+		t.Error("MetaOf accepted truncated JSON")
+	}
+	if _, err := MetaOf([]byte(`{"event":"drop"}`)); err == nil {
+		t.Error("MetaOf accepted record without type")
+	}
+}
+
+func TestWithOriginNilTracer(t *testing.T) {
+	var tr *Tracer
+	got := tr.WithOrigin(Origin{Channel: 1})
+	if got != nil {
+		t.Fatal("WithOrigin on nil tracer must stay nil")
+	}
+	got.OnNet(NetEvent{Event: NetDrop, Reason: "x"}) // must not panic
+}
+
+// TestWithOriginSharesState checks that derived views feed the parent's
+// counters and ring rather than forking them.
+func TestWithOriginSharesState(t *testing.T) {
+	tr := New(Options{RingSize: 4})
+	v1 := tr.WithOrigin(Origin{Channel: 1, SF: 7})
+	v2 := tr.WithOrigin(Origin{Channel: 2, SF: 8})
+	for i, v := range []*Tracer{v1, v2} {
+		pt := v.NewPacket(v.NextWindow(), i, 1, Detection{})
+		pt.Final = true
+		pt.FailureReason = FailCRC
+		v.Finish(pt)
+	}
+	packets, _, byReason := tr.FailureCounts()
+	if packets != 2 || byReason[FailCRC] != 2 {
+		t.Fatalf("parent counters = (%d, %v), want both finishes visible", packets, byReason)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("parent ring has %d traces, want 2", len(snap))
+	}
+	if snap[0].Origin == nil || snap[0].Origin.Channel != 1 || snap[1].Origin.Channel != 2 {
+		t.Errorf("ring traces missing per-view origins: %+v, %+v", snap[0].Origin, snap[1].Origin)
+	}
+}
+
+// TestSnapshotCopiesDetached pins the satellite-1 fix: mutating a trace
+// after Finish (SetAbsStart) must not alter an already-taken snapshot,
+// because the HTTP handler encodes snapshots outside the tracer lock.
+func TestSnapshotCopiesDetached(t *testing.T) {
+	tr := New(Options{RingSize: 2})
+	pt := tr.NewPacket(1, 0, 1, Detection{})
+	pt.Final = true
+	pt.OK = true
+	pt.DataSymbols = 1
+	pt.AirtimeSec = 0.01
+	tr.Finish(pt)
+	snap := tr.Snapshot()
+	tr.SetAbsStart(pt, 999)
+	if snap[0].AbsStart == 999 {
+		t.Fatal("snapshot shares memory with the live ring entry")
+	}
+}

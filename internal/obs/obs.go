@@ -64,7 +64,42 @@ const (
 	TypeDetect = "detect"
 	TypeStream = "stream"
 	TypeConn   = "conn"
+	TypeNet    = "net"
 )
+
+// Types lists every record type, for validation and query parsing.
+var Types = []string{TypePacket, TypeDetect, TypeStream, TypeConn, TypeNet}
+
+// Origin locates a record in the fleet: which gateway heard the samples, on
+// which logical uplink channel, at which spreading factor. Records written
+// by a single-process tool (tnbsim, tnbdecode) carry no origin; the gateway
+// stamps each connection's records via Tracer.WithOrigin, and the netserver
+// stamps its events from the uplink metadata. The persistent trace store
+// indexes these three fields, so "channel 3, SF 8, gateway gw-2" is a
+// selective query instead of a full scan.
+type Origin struct {
+	Gateway string `json:"gateway,omitempty"`
+	Channel int    `json:"channel"`
+	SF      int    `json:"sf"`
+}
+
+// NetEvent records one network-server verdict about an uplink that did not
+// become a delivery: the drop-taxonomy counterpart to the gateway's
+// ConnEvent. Reason carries the netserver drop taxonomy (bad_mic,
+// replayed_fcnt, quota_exceeded, ...); TimeSec is the logical uplink time.
+type NetEvent struct {
+	Type    string  `json:"type"` // TypeNet
+	Event   string  `json:"event"`
+	Reason  string  `json:"reason,omitempty"`
+	TimeSec float64 `json:"time_sec"`
+	DevEUI  string  `json:"dev_eui,omitempty"`
+	DevAddr string  `json:"dev_addr,omitempty"`
+	Origin  *Origin `json:"origin,omitempty"`
+}
+
+// NetDrop is the NetEvent kind for a dropped uplink (the only kind today;
+// deliveries and joins stay on the netserver's own event stream).
+const NetDrop = "drop"
 
 // Connection-level event reasons: how a gateway connection degraded or
 // died. Where FailureReason explains one packet, these explain one client —
@@ -108,6 +143,9 @@ type ConnEvent struct {
 	Remote string `json:"remote,omitempty"`
 	// Detail carries the underlying error text.
 	Detail string `json:"detail,omitempty"`
+	// Origin is the connection's fleet position once the hello settled it;
+	// pre-hello events (overload_shed, hello_rejected) have none.
+	Origin *Origin `json:"origin,omitempty"`
 }
 
 // Detection holds the packet's synchronization estimate (paper §7): the
@@ -227,6 +265,8 @@ type PacketTrace struct {
 	// by the stream layer (ring and summaries only; the JSONL line is
 	// written at decode time with the window-relative Detection).
 	AbsStart float64 `json:"abs_start,omitempty"`
+	// Origin is stamped by the tracer at Finish (see Tracer.WithOrigin).
+	Origin *Origin `json:"origin,omitempty"`
 }
 
 // InitSymbols pre-sizes the per-symbol decision table so Thrive can record
@@ -309,6 +349,8 @@ type DetectEvent struct {
 	// Start and CFOCycles are the refined estimates of accepted packets.
 	Start     float64 `json:"start,omitempty"`
 	CFOCycles float64 `json:"cfo_cycles,omitempty"`
+	// Origin is stamped by the tracer (see Tracer.WithOrigin).
+	Origin *Origin `json:"origin,omitempty"`
 }
 
 // StreamEvent records a stream-layer decision about a decoded packet:
@@ -319,6 +361,8 @@ type StreamEvent struct {
 	Event string `json:"event"`
 	// AbsStart is the packet start in stream-absolute samples.
 	AbsStart float64 `json:"abs_start,omitempty"`
+	// Origin is stamped by the tracer (see Tracer.WithOrigin).
+	Origin *Origin `json:"origin,omitempty"`
 }
 
 // Summary is the compact per-packet digest the gateway attaches to each

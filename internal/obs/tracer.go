@@ -11,6 +11,10 @@ type Options struct {
 	// Sink receives one JSON record per line (JSONL). Nil disables export;
 	// the ring and counters still work.
 	Sink io.Writer
+	// Spill additionally receives every encoded record with its index
+	// digest — the hook the persistent trace store attaches to. Sink and
+	// Spill see the same bytes in the same order.
+	Spill Spill
 	// RingSize caps the in-memory ring of finished packet traces served at
 	// /debug/traces. 0 disables the ring.
 	RingSize int
@@ -21,10 +25,20 @@ type Options struct {
 // instrumented hot path pays one nil check (the PipelineMetrics pattern).
 //
 // One Tracer may serve many receivers (e.g. a gateway with several
-// connections); all methods are safe for concurrent use.
+// connections); all methods are safe for concurrent use. WithOrigin derives
+// per-connection views that share the sink, spill, ring and counters while
+// stamping each record with its fleet position.
 type Tracer struct {
+	s      *tracerState
+	origin *Origin
+}
+
+// tracerState is the shared core behind a Tracer and all its WithOrigin
+// views.
+type tracerState struct {
 	mu     sync.Mutex
-	enc    *json.Encoder
+	out    io.Writer
+	spill  Spill
 	ring   []*PacketTrace
 	ringAt int
 	full   bool
@@ -36,17 +50,52 @@ type Tracer struct {
 	conns    map[string]uint64
 }
 
-// New builds a Tracer. Both options may be zero: the Tracer then only
+// New builds a Tracer. All options may be zero: the Tracer then only
 // counts, which is still useful for FailureCounts.
 func New(o Options) *Tracer {
-	t := &Tracer{failures: make(map[FailureReason]uint64), conns: make(map[string]uint64)}
-	if o.Sink != nil {
-		t.enc = json.NewEncoder(o.Sink)
+	s := &tracerState{
+		out:      o.Sink,
+		spill:    o.Spill,
+		failures: make(map[FailureReason]uint64),
+		conns:    make(map[string]uint64),
 	}
 	if o.RingSize > 0 {
-		t.ring = make([]*PacketTrace, o.RingSize)
+		s.ring = make([]*PacketTrace, o.RingSize)
 	}
-	return t
+	return &Tracer{s: s}
+}
+
+// WithOrigin returns a view of the tracer that stamps every record it emits
+// with the given fleet origin (gateway, channel, SF). The view shares the
+// parent's sink, spill, ring and counters; the parent and other views are
+// unaffected. Nil receivers stay nil, preserving the inert-tracer pattern.
+func (t *Tracer) WithOrigin(o Origin) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{s: t.s, origin: &o}
+}
+
+// emit marshals rec once and fans it out to the sink and the spill, in that
+// order. Callers hold s.mu, so lines land in both in one global order.
+// Encoding or write errors (closed file, full disk) drop the sink rather
+// than failing the decode: tracing is diagnostic, not load-bearing.
+func (s *tracerState) emit(rec any, m RecordMeta) {
+	if s.out == nil && s.spill == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if s.spill != nil {
+		s.spill.Append(line, m)
+	}
+	if s.out != nil {
+		if _, err := s.out.Write(append(line, '\n')); err != nil {
+			s.out = nil
+		}
+	}
 }
 
 // NextWindow advances and returns the receiver-window sequence number.
@@ -56,10 +105,10 @@ func (t *Tracer) NextWindow() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.window++
-	return t.window
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.s.window++
+	return t.s.window
 }
 
 // NewPacket opens a trace for one detected packet in the given window and
@@ -71,38 +120,37 @@ func (t *Tracer) NewPacket(window uint64, id, pass int, det Detection) *PacketTr
 	return &PacketTrace{Window: window, ID: id, Pass: pass, Detection: det}
 }
 
-// Finish seals a trace: stamps its type, writes the JSONL record, inserts
-// it into the ring, and updates the failure counters. Final=false traces
-// (pass-1 failures about to be retried) are exported but not counted, so
-// FailureCounts reflects per-packet verdicts, not per-attempt ones.
+// Finish seals a trace: stamps its type and origin, writes the JSONL
+// record, inserts it into the ring, and updates the failure counters.
+// Final=false traces (pass-1 failures about to be retried) are exported but
+// not counted, so FailureCounts reflects per-packet verdicts, not
+// per-attempt ones.
 func (t *Tracer) Finish(pt *PacketTrace) {
 	if t == nil || pt == nil {
 		return
 	}
 	pt.Type = TypePacket
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.enc != nil {
-		// Encoding errors (closed file, full disk) drop the sink rather
-		// than failing the decode: tracing is diagnostic, not load-bearing.
-		if err := t.enc.Encode(pt); err != nil {
-			t.enc = nil
-		}
+	if pt.Origin == nil {
+		pt.Origin = t.origin
 	}
-	if len(t.ring) > 0 {
-		t.ring[t.ringAt] = pt
-		t.ringAt++
-		if t.ringAt == len(t.ring) {
-			t.ringAt = 0
-			t.full = true
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(pt, metaFor(TypePacket, string(pt.FailureReason), pt.Origin))
+	if len(s.ring) > 0 {
+		s.ring[s.ringAt] = pt
+		s.ringAt++
+		if s.ringAt == len(s.ring) {
+			s.ringAt = 0
+			s.full = true
 		}
 	}
 	if pt.Final {
-		t.packets++
+		s.packets++
 		if pt.OK {
-			t.decoded++
+			s.decoded++
 		} else if pt.FailureReason != "" {
-			t.failures[pt.FailureReason]++
+			s.failures[pt.FailureReason]++
 		}
 	}
 }
@@ -113,13 +161,12 @@ func (t *Tracer) OnDetect(ev DetectEvent) {
 		return
 	}
 	ev.Type = TypeDetect
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.enc != nil {
-		if err := t.enc.Encode(ev); err != nil {
-			t.enc = nil
-		}
+	if ev.Origin == nil {
+		ev.Origin = t.origin
 	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.s.emit(&ev, metaFor(TypeDetect, ev.Reason, ev.Origin))
 }
 
 // OnStream exports one stream-layer event.
@@ -127,14 +174,10 @@ func (t *Tracer) OnStream(event string, absStart float64) {
 	if t == nil {
 		return
 	}
-	ev := StreamEvent{Type: TypeStream, Event: event, AbsStart: absStart}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.enc != nil {
-		if err := t.enc.Encode(ev); err != nil {
-			t.enc = nil
-		}
-	}
+	ev := StreamEvent{Type: TypeStream, Event: event, AbsStart: absStart, Origin: t.origin}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.s.emit(&ev, metaFor(TypeStream, event, ev.Origin))
 }
 
 // OnConn exports and counts one gateway connection-level event. The event
@@ -145,15 +188,26 @@ func (t *Tracer) OnConn(event, remote, detail string) {
 	if t == nil {
 		return
 	}
-	ev := ConnEvent{Type: TypeConn, Event: event, Remote: remote, Detail: detail}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.conns[event]++
-	if t.enc != nil {
-		if err := t.enc.Encode(ev); err != nil {
-			t.enc = nil
-		}
+	ev := ConnEvent{Type: TypeConn, Event: event, Remote: remote, Detail: detail, Origin: t.origin}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.s.conns[event]++
+	t.s.emit(&ev, metaFor(TypeConn, event, ev.Origin))
+}
+
+// OnNet exports one network-server event. The event's own Origin (built
+// from the uplink's gateway/channel/SF metadata) wins over the tracer's.
+func (t *Tracer) OnNet(ev NetEvent) {
+	if t == nil {
+		return
 	}
+	ev.Type = TypeNet
+	if ev.Origin == nil {
+		ev.Origin = t.origin
+	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.s.emit(&ev, metaFor(TypeNet, ev.Reason, ev.Origin))
 }
 
 // ConnCounts returns the per-event connection-failure tallies.
@@ -161,10 +215,10 @@ func (t *Tracer) ConnCounts() map[string]uint64 {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := make(map[string]uint64, len(t.conns))
-	for k, v := range t.conns {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	m := make(map[string]uint64, len(t.s.conns))
+	for k, v := range t.s.conns {
 		m[k] = v
 	}
 	return m
@@ -177,23 +231,32 @@ func (t *Tracer) SetAbsStart(pt *PacketTrace, abs float64) {
 	if t == nil || pt == nil {
 		return
 	}
-	t.mu.Lock()
+	t.s.mu.Lock()
 	pt.AbsStart = abs
-	t.mu.Unlock()
+	t.s.mu.Unlock()
 }
 
-// Snapshot returns the ring's finished traces, oldest first.
+// Snapshot returns copies of the ring's finished traces, oldest first. The
+// copies are detached from the ring, so callers may hold or encode them
+// without the tracer lock (Symbols/Blocks slices are shared but immutable
+// after Finish).
 func (t *Tracer) Snapshot() []*PacketTrace {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
 	var out []*PacketTrace
-	if t.full {
-		out = append(out, t.ring[t.ringAt:]...)
+	appendCopies := func(src []*PacketTrace) {
+		for _, pt := range src {
+			cp := *pt
+			out = append(out, &cp)
+		}
 	}
-	out = append(out, t.ring[:t.ringAt]...)
+	if t.s.full {
+		appendCopies(t.s.ring[t.s.ringAt:])
+	}
+	appendCopies(t.s.ring[:t.s.ringAt])
 	return out
 }
 
@@ -202,11 +265,11 @@ func (t *Tracer) FailureCounts() (packets, decoded uint64, byReason map[FailureR
 	if t == nil {
 		return 0, 0, nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := make(map[FailureReason]uint64, len(t.failures))
-	for k, v := range t.failures {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	m := make(map[FailureReason]uint64, len(t.s.failures))
+	for k, v := range t.s.failures {
 		m[k] = v
 	}
-	return t.packets, t.decoded, m
+	return t.s.packets, t.s.decoded, m
 }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateJSONLReportsLineAndSnippet(t *testing.T) {
+	longDetail := strings.Repeat("x", 200)
+	in := `{"type":"conn","event":"read_timeout"}
+{"type":"conn","event":"nonsense","detail":"` + longDetail + `"}
+`
+	_, err := ValidateJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("want error for unknown conn event")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 2") {
+		t.Errorf("error %q does not name line 2", msg)
+	}
+	if !strings.Contains(msg, `"event":"nonsense"`) {
+		t.Errorf("error %q does not include a snippet of the line", msg)
+	}
+	if !strings.Contains(msg, "...") || len(msg) > 250 {
+		t.Errorf("snippet not truncated: %q (len %d)", msg, len(msg))
+	}
+}
+
+func TestValidateJSONLTornFinalLine(t *testing.T) {
+	in := `{"type":"conn","event":"read_timeout"}
+{"type":"conn","eve`
+
+	if _, err := ValidateJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("default mode must reject a torn final line")
+	}
+	counts, err := ValidateJSONLOptions(strings.NewReader(in), ValidateOptions{AllowTornFinal: true})
+	if err != nil {
+		t.Fatalf("AllowTornFinal rejected a torn final line: %v", err)
+	}
+	if counts[TypeConn] != 1 {
+		t.Errorf("counts = %v, want 1 complete conn record", counts)
+	}
+
+	// The leniency is for the final line only: a torn line mid-file (i.e.
+	// followed by more records) still fails because it isn't valid JSON.
+	mid := `{"type":"conn","eve
+{"type":"conn","event":"read_timeout"}
+`
+	if _, err := ValidateJSONLOptions(strings.NewReader(mid), ValidateOptions{AllowTornFinal: true}); err == nil {
+		t.Fatal("torn line mid-file must still be rejected")
+	}
+
+	// A complete, parseable final line without a newline is validated
+	// normally, not skipped.
+	full := `{"type":"conn","event":"bogus_event"}`
+	if _, err := ValidateJSONLOptions(strings.NewReader(full), ValidateOptions{AllowTornFinal: true}); err == nil {
+		t.Fatal("complete-but-invalid final line must be validated, not skipped as torn")
+	}
+}
+
+func TestValidateNetRecords(t *testing.T) {
+	good := []string{
+		`{"type":"net","event":"drop","reason":"bad_mic","time_sec":1}`,
+		`{"type":"net","event":"drop","reason":"quota_exceeded","origin":{"gateway":"g0","channel":3,"sf":8}}`,
+	}
+	for _, line := range good {
+		if err := ValidateRecord([]byte(line)); err != nil {
+			t.Errorf("valid net record rejected: %v\n  %s", err, line)
+		}
+	}
+	bad := []string{
+		`{"type":"net","event":"drop"}`,              // no reason
+		`{"type":"net","event":"boop","reason":"x"}`, // unknown event
+	}
+	for _, line := range bad {
+		if err := ValidateRecord([]byte(line)); err == nil {
+			t.Errorf("invalid net record accepted: %s", line)
+		}
+	}
+}
+
+// TestValidateShardConnEvents covers the PR 6 additions to the conn
+// taxonomy end-to-end: emitted by the tracer, accepted by the validator.
+func TestValidateShardConnEvents(t *testing.T) {
+	sp := &recordingSpill{}
+	tr := New(Options{Spill: sp}).WithOrigin(Origin{Gateway: "gw", Channel: 5, SF: 10})
+	for _, ev := range ConnEvents {
+		tr.OnConn(ev, "remote", "")
+	}
+	if len(sp.lines) != len(ConnEvents) {
+		t.Fatalf("spilled %d records, want %d", len(sp.lines), len(ConnEvents))
+	}
+	for i, line := range sp.lines {
+		if err := ValidateRecord([]byte(line)); err != nil {
+			t.Errorf("conn event %q failed validation: %v", ConnEvents[i], err)
+		}
+	}
+}
+
+// TestFailureReasonValidTaxonomy pins Valid over the full taxonomy plus the
+// strings that must NOT be failure reasons — notably the PR 6 shard and
+// netserver event names, which live in separate taxonomies.
+func TestFailureReasonValidTaxonomy(t *testing.T) {
+	for _, r := range FailureReasons {
+		if !r.Valid() {
+			t.Errorf("taxonomy reason %q reported invalid", r)
+		}
+	}
+	for _, s := range []string{
+		"", "ok", "shard_overload", "overload_shed", "stream_overflow",
+		"bad_mic", "replayed_fcnt", "quota_exceeded", "unknown_devaddr",
+		"BEC_BUDGET_EXHAUSTED",
+	} {
+		if FailureReason(s).Valid() {
+			t.Errorf("non-taxonomy string %q reported valid", s)
+		}
+	}
+}
+
+// TestSummarizeFailedShardedPacket covers Summarize over a pass-2 failure
+// carrying the PR 6 origin field and a failure reason, the path gateway
+// shards exercise when attaching per-report summaries.
+func TestSummarizeFailedShardedPacket(t *testing.T) {
+	pt := &PacketTrace{
+		Pass:          2,
+		SyncScore:     0.4,
+		FailureReason: FailBECBudget,
+		Origin:        &Origin{Gateway: "gw-1", Channel: 3, SF: 8},
+		Symbols: []SymbolDecision{
+			{Idx: 0, Bin: 10, Margin: 0.01},
+			{Idx: 1, Bin: -1, Margin: -1},
+			{Idx: 2, Bin: 7, Margin: 0.5},
+		},
+	}
+	s := Summarize(pt)
+	if s.Pass != 2 || s.FailureReason != FailBECBudget {
+		t.Errorf("summary = %+v, want pass 2 / %s", s, FailBECBudget)
+	}
+	if s.AmbiguousSymbols != 1 {
+		t.Errorf("ambiguous symbols = %d, want 1 (margin 0.01 < %v)", s.AmbiguousSymbols, AmbiguityMargin)
+	}
+	if s.MinMargin != 0.01 {
+		t.Errorf("min margin = %v, want 0.01 (unassigned symbol excluded)", s.MinMargin)
+	}
+	if Summarize(nil) != (Summary{}) {
+		t.Error("Summarize(nil) must be zero")
+	}
+}

@@ -1,0 +1,73 @@
+package tracestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tnb/internal/obs"
+)
+
+// CheckResult summarizes a store validation pass.
+type CheckResult struct {
+	// Segments is the number of segment files examined.
+	Segments int
+	// Records counts validated records per type, across all segments.
+	Records map[string]int
+	// TornTail reports that the unsealed segment ends in a torn line — a
+	// writer killed mid-append. Open repairs it; Check only reports it.
+	TornTail bool
+}
+
+// Check validates a store directory without modifying it: every record in
+// every segment passes the obs schema, sealed segments agree with their
+// index sidecars, and only unsealed segments may carry a torn final line.
+// It backs `tnbtrace -store DIR -check` and may run against a live store
+// (it can race a concurrent writer's final line, which then reads as torn).
+func Check(dir string) (CheckResult, error) {
+	res := CheckResult{Records: make(map[string]int)}
+	bases, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	for _, base := range bases {
+		path := filepath.Join(dir, segName(base))
+		ix, serr := readSidecar(dir, base)
+		sealed := serr == nil
+
+		f, err := os.Open(path)
+		if err != nil {
+			return res, err
+		}
+		counts, verr := obs.ValidateJSONLOptions(f, obs.ValidateOptions{AllowTornFinal: !sealed})
+		f.Close()
+		if verr != nil {
+			return res, fmt.Errorf("%s: %w", segName(base), verr)
+		}
+		n := 0
+		for typ, c := range counts {
+			res.Records[typ] += c
+			n += c
+		}
+		if sealed {
+			if n != ix.N {
+				return res, fmt.Errorf("%s: sidecar says %d records, file has %d", segName(base), ix.N, n)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				return res, err
+			}
+			if st.Size() != ix.Bytes {
+				return res, fmt.Errorf("%s: sidecar says %d bytes, file has %d", segName(base), ix.Bytes, st.Size())
+			}
+		} else {
+			// Detect (but don't repair) a torn tail: the scan stops at the
+			// first line it can't parse.
+			if _, torn, err := scanSegment(path, base, -1); err == nil && torn >= 0 {
+				res.TornTail = true
+			}
+		}
+		res.Segments++
+	}
+	return res, nil
+}

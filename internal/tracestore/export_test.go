@@ -1,0 +1,15 @@
+package tracestore
+
+// crash stops the writer without sealing the active segment, simulating a
+// process killed after its last fsync: the segment file stays on disk with
+// no index sidecar. Tests then mangle the file tail and reopen the store
+// to exercise recovery.
+func (s *Store) crash() {
+	if s.closed.Swap(true) {
+		<-s.done
+		return
+	}
+	s.noSeal = true
+	close(s.quit)
+	<-s.done
+}

@@ -1,0 +1,98 @@
+package tracestore
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the store's query API, mounted at /debug/traces/query on
+// the metrics mux. Parameters mirror the Query fields:
+//
+//	type=packet[,conn,...]  record types
+//	reason=bec_budget_exhausted
+//	channel=3  sf=8  gateway=gw-0
+//	since=<unix seconds>  limit=100 (-1 = unlimited)
+//
+// The response is NDJSON: one raw trace record per line, newest first.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q, err := ParseQuery(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := s.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Trace-Count", strconv.Itoa(len(res)))
+		for _, rec := range res {
+			w.Write(rec.Record)
+			w.Write([]byte("\n"))
+		}
+	})
+}
+
+// ParseQuery builds a Query from URL parameters; shared by the HTTP
+// handler and `tnbtrace -store`.
+func ParseQuery(v map[string][]string) (Query, error) {
+	var q Query
+	get := func(k string) string {
+		if vs := v[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	for _, t := range v["type"] {
+		for _, part := range strings.Split(t, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				q.Types = append(q.Types, part)
+			}
+		}
+	}
+	q.Reason = get("reason")
+	q.Gateway = get("gateway")
+	if c := get("channel"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil {
+			return q, badParam("channel", c)
+		}
+		q.Channel = &n
+	}
+	if c := get("sf"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil {
+			return q, badParam("sf", c)
+		}
+		q.SF = &n
+	}
+	if c := get("since"); c != "" {
+		n, err := strconv.ParseInt(c, 10, 64)
+		if err != nil {
+			return q, badParam("since", c)
+		}
+		q.Since = n
+	}
+	if c := get("limit"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil {
+			return q, badParam("limit", c)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+type paramError struct{ key, val string }
+
+func (e paramError) Error() string { return "bad " + e.key + " value " + strconv.Quote(e.val) }
+
+func badParam(k, v string) error { return paramError{k, v} }

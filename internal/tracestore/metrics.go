@@ -1,0 +1,51 @@
+package tracestore
+
+import "tnb/internal/metrics"
+
+// Metrics instruments a Store. All methods on a nil *Metrics are safe
+// no-ops (the PipelineMetrics pattern), so a store can run unobserved.
+type Metrics struct {
+	Records        *metrics.Counter   // records durably appended
+	Dropped        *metrics.Counter   // records dropped (full queue, closed or failed store)
+	SegmentsActive *metrics.Gauge     // on-disk segments (sealed + active)
+	BytesOnDisk    *metrics.Gauge     // bytes across all segments
+	FlushLatency   *metrics.Histogram // write+fsync latency per batch
+}
+
+// NewMetrics registers the trace-store instruments on reg. Registration is
+// get-or-create, so calling it twice with the same registry returns the
+// same instruments.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Records:        reg.Counter("tnb_tracestore_records_total"),
+		Dropped:        reg.Counter("tnb_tracestore_dropped_total"),
+		SegmentsActive: reg.Gauge("tnb_tracestore_segments_active"),
+		BytesOnDisk:    reg.Gauge("tnb_tracestore_bytes_on_disk"),
+		FlushLatency:   reg.Histogram("tnb_tracestore_flush_seconds", metrics.DurationBuckets),
+	}
+}
+
+func (m *Metrics) onAppended(n int) {
+	if m != nil {
+		m.Records.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) onDropped() {
+	if m != nil {
+		m.Dropped.Inc()
+	}
+}
+
+func (m *Metrics) setDisk(segments int, bytes int64) {
+	if m != nil {
+		m.SegmentsActive.Set(int64(segments))
+		m.BytesOnDisk.Set(bytes)
+	}
+}
+
+func (m *Metrics) observeFlush(sec float64) {
+	if m != nil {
+		m.FlushLatency.Observe(sec)
+	}
+}

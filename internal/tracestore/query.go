@@ -1,0 +1,212 @@
+package tracestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tnb/internal/obs"
+)
+
+// DefaultQueryLimit is applied when Query.Limit is 0.
+const DefaultQueryLimit = 100
+
+// Query selects records. Zero-valued fields don't filter; Channel and SF
+// are pointers because channel 0 is a real channel. Matching uses the same
+// digest the tracer attached at append time (obs.RecordMeta), so a reason
+// filter finds a packet's failure_reason, a conn record's event, and a net
+// record's drop reason alike.
+type Query struct {
+	// Types keeps only records whose "type" is in the list.
+	Types []string
+	// Reason keeps only records with this digest reason.
+	Reason string
+	// Channel / SF keep only records whose origin matches.
+	Channel *int
+	SF      *int
+	// Gateway keeps only records from this gateway id.
+	Gateway string
+	// Since prunes segments' index blocks whose newest append time (unix
+	// seconds) is older. The index is sparse: pruning is at block
+	// granularity, so records slightly older than Since can surface.
+	Since int64
+	// Limit caps the result, newest-first: 0 means DefaultQueryLimit,
+	// negative means unlimited.
+	Limit int
+}
+
+// Result is one matched record.
+type Result struct {
+	// Seq is the record's store-wide sequence number; higher = newer.
+	Seq uint64 `json:"seq"`
+	// Record is the original encoded trace record, byte-for-byte.
+	Record json.RawMessage `json:"record"`
+}
+
+// Query returns matching records newest-first. Only durable (fsynced)
+// records are visible. The error reports the first unreadable segment;
+// results gathered before it are returned.
+func (s *Store) Query(q Query) ([]Result, error) {
+	if s == nil {
+		return nil, nil
+	}
+	limit := q.Limit
+	if limit == 0 {
+		limit = DefaultQueryLimit
+	}
+
+	// Snapshot the queryable state. Sealed indexes are immutable; the
+	// active one is still being extended by the writer, so deep-copy it.
+	s.mu.Lock()
+	segs := make([]*segIndex, 0, len(s.sealed)+1)
+	segs = append(segs, s.sealed...)
+	if s.active != nil && s.active.N > 0 {
+		segs = append(segs, s.active.clone())
+	}
+	s.mu.Unlock()
+
+	var out []Result
+	for i := len(segs) - 1; i >= 0; i-- {
+		ix := segs[i]
+		matches, err := s.scanIndexed(ix, q)
+		if err != nil {
+			return out, err
+		}
+		// Within a segment matches are oldest-first; flip them.
+		for j := len(matches) - 1; j >= 0; j-- {
+			out = append(out, matches[j])
+			if limit > 0 && len(out) >= limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// scanIndexed reads one segment, visiting only the index blocks whose
+// summary can match the query, and returns matching records oldest-first.
+func (s *Store) scanIndexed(ix *segIndex, q Query) ([]Result, error) {
+	var out []Result
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	rec := 0
+	var buf []byte
+	for _, b := range ix.Blocks {
+		first := rec
+		rec += b.N
+		if !blockMatches(&b, q) {
+			continue
+		}
+		if f == nil {
+			var err error
+			f, err = os.Open(filepath.Join(s.opt.Dir, segName(ix.Base)))
+			if err != nil {
+				return out, err
+			}
+		}
+		if int64(cap(buf)) < b.Len {
+			buf = make([]byte, b.Len)
+		}
+		buf = buf[:b.Len]
+		if _, err := f.ReadAt(buf, b.Off); err != nil {
+			return out, fmt.Errorf("segment %s block at %d: %w", segName(ix.Base), b.Off, err)
+		}
+		for i, off := 0, 0; i < b.N; i++ {
+			nl := bytes.IndexByte(buf[off:], '\n')
+			if nl < 0 {
+				return out, fmt.Errorf("segment %s block at %d: record %d missing newline", segName(ix.Base), b.Off, i)
+			}
+			line := buf[off : off+nl]
+			off += nl + 1
+			m, err := obs.MetaOf(line)
+			if err != nil {
+				return out, fmt.Errorf("segment %s: %w", segName(ix.Base), err)
+			}
+			if recordMatches(m, q) {
+				out = append(out, Result{
+					Seq:    ix.Base + uint64(first+i),
+					Record: append(json.RawMessage(nil), line...),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// blockMatches reports whether a block can contain a matching record.
+func blockMatches(b *blockSummary, q Query) bool {
+	if q.Since > 0 && b.MaxUnix < q.Since {
+		return false
+	}
+	if len(q.Types) > 0 {
+		any := false
+		for _, t := range q.Types {
+			if containsString(b.Types, t) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	if q.Reason != "" && !containsString(b.Reasons, q.Reason) {
+		return false
+	}
+	if q.Channel != nil && !containsInt(b.Channels, *q.Channel) {
+		return false
+	}
+	if q.SF != nil && !containsInt(b.SFs, *q.SF) {
+		return false
+	}
+	if q.Gateway != "" && !containsString(b.Gateways, q.Gateway) {
+		return false
+	}
+	return true
+}
+
+// recordMatches applies the exact per-record filters.
+func recordMatches(m obs.RecordMeta, q Query) bool {
+	if len(q.Types) > 0 {
+		any := false
+		for _, t := range q.Types {
+			if m.Type == t {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	if q.Reason != "" && m.Reason != q.Reason {
+		return false
+	}
+	if q.Channel != nil && m.Channel != *q.Channel {
+		return false
+	}
+	if q.SF != nil && m.SF != *q.SF {
+		return false
+	}
+	if q.Gateway != "" && m.Gateway != q.Gateway {
+		return false
+	}
+	return true
+}
+
+func containsString(sorted []string, v string) bool {
+	i := sort.SearchStrings(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+func containsInt(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

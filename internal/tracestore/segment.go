@@ -1,0 +1,238 @@
+package tracestore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tnb/internal/obs"
+)
+
+// Segment files are named seg-<base>.jsonl where <base> is the zero-padded
+// sequence number of the segment's first record; a sealed segment carries a
+// seg-<base>.idx JSON sidecar with its sparse index. A segment without a
+// sidecar is (or was, before a crash) the active one.
+const (
+	segSuffix = ".jsonl"
+	idxSuffix = ".idx"
+	segPrefix = "seg-"
+
+	// blockRecords is the sparse-index granularity: one summary per this
+	// many records. Queries read only the blocks whose summary matches.
+	blockRecords = 256
+)
+
+func segName(base uint64) string { return fmt.Sprintf("%s%020d%s", segPrefix, base, segSuffix) }
+
+func idxName(base uint64) string { return fmt.Sprintf("%s%020d%s", segPrefix, base, idxSuffix) }
+
+// parseSegBase extracts the base sequence number from a segment file name.
+func parseSegBase(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// blockSummary is one sparse-index entry: the distinct digest values seen
+// across a run of blockRecords consecutive records. A query skips the whole
+// block (and its disk read) when its filter value is absent from the sets.
+type blockSummary struct {
+	// Off and Len bound the block's bytes within the segment file.
+	Off int64 `json:"off"`
+	Len int64 `json:"len"`
+	// N is the record count (== blockRecords except for the last block).
+	N int `json:"n"`
+	// MinUnix and MaxUnix bound the records' append wall-clock times.
+	// Rebuilt-after-crash segments widen this to [0, file mtime] so a
+	// Since filter can only over-select, never drop.
+	MinUnix int64 `json:"min_unix"`
+	MaxUnix int64 `json:"max_unix"`
+	// Distinct digest values present in the block, sorted.
+	Types    []string `json:"types,omitempty"`
+	Reasons  []string `json:"reasons,omitempty"`
+	Channels []int    `json:"channels,omitempty"`
+	SFs      []int    `json:"sfs,omitempty"`
+	Gateways []string `json:"gateways,omitempty"`
+}
+
+func insertString(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	return append(s[:i], append([]string{v}, s[i:]...)...)
+}
+
+func insertInt(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	return append(s[:i], append([]int{v}, s[i:]...)...)
+}
+
+// add folds one record's digest and byte length into the summary.
+func (b *blockSummary) add(m obs.RecordMeta, unix int64, lineLen int) {
+	if b.N == 0 {
+		b.MinUnix, b.MaxUnix = unix, unix
+	} else {
+		if unix < b.MinUnix {
+			b.MinUnix = unix
+		}
+		if unix > b.MaxUnix {
+			b.MaxUnix = unix
+		}
+	}
+	b.N++
+	b.Len += int64(lineLen)
+	b.Types = insertString(b.Types, m.Type)
+	b.Reasons = insertString(b.Reasons, m.Reason)
+	b.Channels = insertInt(b.Channels, m.Channel)
+	b.SFs = insertInt(b.SFs, m.SF)
+	b.Gateways = insertString(b.Gateways, m.Gateway)
+}
+
+// clone deep-copies the summary so queries can use it lock-free while the
+// writer keeps folding records into the original.
+func (b *blockSummary) clone() blockSummary {
+	c := *b
+	c.Types = append([]string(nil), b.Types...)
+	c.Reasons = append([]string(nil), b.Reasons...)
+	c.Channels = append([]int(nil), b.Channels...)
+	c.SFs = append([]int(nil), b.SFs...)
+	c.Gateways = append([]string(nil), b.Gateways...)
+	return c
+}
+
+// segIndex is the sidecar for one sealed segment, and the in-memory index
+// of the active one.
+type segIndex struct {
+	// Base is the sequence number of the segment's first record.
+	Base uint64 `json:"base"`
+	// N is the total record count.
+	N int `json:"n"`
+	// Bytes is the segment file size the index describes.
+	Bytes  int64          `json:"bytes"`
+	Blocks []blockSummary `json:"blocks"`
+}
+
+func (ix *segIndex) addRecord(m obs.RecordMeta, unix int64, lineLen int) {
+	if len(ix.Blocks) == 0 || ix.Blocks[len(ix.Blocks)-1].N >= blockRecords {
+		ix.Blocks = append(ix.Blocks, blockSummary{Off: ix.Bytes})
+	}
+	ix.Blocks[len(ix.Blocks)-1].add(m, unix, lineLen)
+	ix.N++
+	ix.Bytes += int64(lineLen)
+}
+
+func (ix *segIndex) clone() *segIndex {
+	c := &segIndex{Base: ix.Base, N: ix.N, Bytes: ix.Bytes, Blocks: make([]blockSummary, len(ix.Blocks))}
+	for i := range ix.Blocks {
+		c.Blocks[i] = ix.Blocks[i].clone()
+	}
+	return c
+}
+
+// writeSidecar persists the index next to its sealed segment, atomically
+// (tmp + rename) so a crash mid-seal leaves either no sidecar — the
+// segment is then rescanned like an active one — or a complete sidecar.
+func (ix *segIndex) writeSidecar(dir string) error {
+	data, err := json.Marshal(ix)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, idxName(ix.Base))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readSidecar(dir string, base uint64) (*segIndex, error) {
+	data, err := os.ReadFile(filepath.Join(dir, idxName(base)))
+	if err != nil {
+		return nil, err
+	}
+	var ix segIndex
+	if err := json.Unmarshal(data, &ix); err != nil {
+		return nil, fmt.Errorf("sidecar %s: %w", idxName(base), err)
+	}
+	return &ix, nil
+}
+
+// scanSegment rebuilds a segment's index from its bytes alone — crash
+// recovery for segments that died without a sidecar. It returns the index
+// and the byte offset of the first torn (newline-less or unparseable
+// final) line, or -1 if the file is clean. Records after `keep` bytes are
+// ignored; pass -1 to scan the whole file. Unix bounds are widened to
+// [0, mtime] since per-record append times are not stored in the bytes.
+func scanSegment(path string, base uint64, keep int64) (*segIndex, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	mtime := st.ModTime().Unix()
+
+	ix := &segIndex{Base: base}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	for keep < 0 || off < keep {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			if len(line) > 0 {
+				return ix, off, nil // torn final line
+			}
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		rec := bytes.TrimSuffix(line, []byte("\n"))
+		m, merr := obs.MetaOf(rec)
+		if merr != nil {
+			// A corrupt line mid-file: treat everything from here on as
+			// torn. Sealing will truncate it, preserving the prefix.
+			return ix, off, nil
+		}
+		ix.addRecord(m, mtime, len(line))
+		off += int64(len(line))
+	}
+	for i := range ix.Blocks {
+		ix.Blocks[i].MinUnix = 0
+	}
+	return ix, -1, nil
+}
+
+// listSegments returns the base sequence numbers of every segment in dir,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bases []uint64
+	for _, e := range ents {
+		if base, ok := parseSegBase(e.Name()); ok {
+			bases = append(bases, base)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}

@@ -31,13 +31,19 @@ echo "$kraw" >&2
 fraw=$(go test -bench 'BenchmarkNetserverIngest/' -benchtime 200ms -run '^$' ./internal/netserver)
 echo "$fraw" >&2
 
-{ echo "$raw"; echo "===KERNELS==="; echo "$kraw"; echo "===FLEET==="; echo "$fraw"; } | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
+# Trace store: the durable append path (enqueue + batched write/fsync,
+# records/s) and an indexed query against a sealed 100k-record store.
+traw=$(go test -bench 'BenchmarkStoreAppend$|BenchmarkStoreQuery$' -benchtime 200ms -run '^$' ./internal/tracestore)
+echo "$traw" >&2
+
+{ echo "$raw"; echo "===KERNELS==="; echo "$kraw"; echo "===FLEET==="; echo "$fraw"; echo "===TRACESTORE==="; echo "$traw"; } | awk -v ncpu="$(nproc)" -v benchtime="$benchtime" '
 /^===KERNELS===$/ { kernels = 1; next }
 /^===FLEET===$/ { kernels = 0; fleet = 1; next }
+/^===TRACESTORE===$/ { fleet = 0; tstore = 1; next }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
-    ns = ""; allocs = ""; bytes = ""; sps = ""; pps = ""; dbytes = ""
+    ns = ""; allocs = ""; bytes = ""; sps = ""; pps = ""; dbytes = ""; rps = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i-1)
         if ($(i) == "allocs/op") allocs = $(i-1)
@@ -45,9 +51,15 @@ echo "$fraw" >&2
         if ($(i) == "samples/sec") sps = $(i-1)
         if ($(i) == "packets/s") pps = $(i-1)
         if ($(i) == "dedup-bytes") dbytes = $(i-1)
+        if ($(i) == "records/s") rps = $(i-1)
     }
     if (ns == "") next
-    if (!kernels && !fleet && name ~ /^BenchmarkReceiver\//) {
+    if (tstore) {
+        sub(/^Benchmark/, "", name)
+        if (tseen[name]++) next
+        torder[tn++] = name
+        TNS[name] = ns; TRS[name] = rps
+    } else if (!kernels && !fleet && name ~ /^BenchmarkReceiver\//) {
         sub(/^BenchmarkReceiver\//, "", name)
         if (seen[name]++) next         # keep the first run of a repeated name
         order[n++] = name
@@ -98,6 +110,16 @@ END {
         name = forder[i]
         printf "    \"%s\": {\"ns_per_op\": %s, \"packets_per_sec\": %s, \"dedup_table_bytes\": %s}%s\n", \
             name, FNS[name], FPPS[name], FDB[name], (i < fn-1 ? "," : "")
+    }
+    printf "  },\n"
+    # Trace store (BenchmarkStoreAppend / BenchmarkStoreQuery): durable
+    # append throughput and a filtered indexed query over 100k records.
+    printf "  \"tracestore\": {\n"
+    for (i = 0; i < tn; i++) {
+        name = torder[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, TNS[name]
+        if (TRS[name] != "") printf ", \"records_per_sec\": %s", TRS[name]
+        printf "}%s\n", (i < tn-1 ? "," : "")
     }
     printf "  }\n"
     printf "}\n"
