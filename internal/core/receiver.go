@@ -100,6 +100,12 @@ type Receiver struct {
 	demod    *lora.Demodulator
 	met      *PipelineMetrics
 	obs      *obs.Tracer
+	// engine and calcs persist across Decode calls: the Thrive engine's
+	// symbol pool and the calculators' signal-vector arenas are the decode
+	// loop's two big recurring allocations, and reusing them makes the
+	// steady-state loop allocation-light (pinned by the alloc-ceiling test).
+	engine *thrive.Engine
+	calcs  peaks.CalcPool
 }
 
 // NewReceiver builds a receiver for the parameter set in cfg.
@@ -117,6 +123,7 @@ func NewReceiver(cfg Config) *Receiver {
 		demod:    d.Demodulator(),
 		met:      cfg.Metrics,
 		obs:      cfg.Tracer,
+		engine:   thrive.NewEngine(cfg.Params, thrive.Config{Policy: cfg.Policy, Omega: cfg.Omega}),
 	}
 }
 
@@ -156,22 +163,27 @@ func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
 	if len(pkts) == 0 {
 		return nil
 	}
-	p := r.cfg.Params
 	traceLen := len(antennas[0])
 
 	// Stage 2: per-packet calculators, prefilled so every later SigVec read
 	// — Thrive, SNR estimation, list decoding — is a pure cached read.
-	// Packets fan out across the pool; leftover width speeds up each
-	// packet's own prefill. Traces are opened serially afterwards so the
-	// tracer sees packets in detection order.
+	// Calculators come from the pool (drawn serially; the cursor is not
+	// goroutine-safe), then packets fan out across the worker pool for the
+	// prefill; leftover width speeds up each packet's own prefill. Traces
+	// are opened serially afterwards so the tracer sees packets in
+	// detection order.
+	r.calcs.Rewind()
 	window := r.obs.NextWindow()
 	t0 = r.met.now()
 	inner := prefillWorkers(parallel.Workers(r.cfg.Workers), len(pkts))
 	states := make([]*thrive.PacketState, len(pkts))
+	calcs := make([]*peaks.Calculator, len(pkts))
+	for i := range pkts {
+		calcs[i] = r.newCalc(antennas, pkts[i], traceLen)
+	}
 	sigSt := parallel.ForEach(r.cfg.Workers, len(pkts), func(_, i int) {
-		calc := r.newCalc(antennas, pkts[i], traceLen)
-		calc.Prefill(inner)
-		states[i] = thrive.NewPacketState(i, calc)
+		calcs[i].Prefill(inner)
+		states[i] = thrive.NewPacketState(i, calcs[i])
 	})
 	for i := range states {
 		states[i].Trace = r.newTrace(window, i, 1, pkts[i], states[i])
@@ -181,9 +193,8 @@ func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
 
 	// Thrive's greedy assignment is order-dependent by design and stays
 	// serial; with prefilled calculators it only does pure reads.
-	engine := thrive.NewEngine(p, thrive.Config{Policy: r.cfg.Policy, Omega: r.cfg.Omega})
 	t0 = r.met.now()
-	engine.Run(states, traceLen)
+	r.engine.Run(states, traceLen)
 	r.met.observeThrive(t0)
 
 	// Stage 4: decode every assigned packet concurrently into indexed
@@ -218,7 +229,7 @@ func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
 		}
 	}
 	if retrying {
-		out = append(out, r.secondPass(antennas, pkts, states, decodedIdx, traceLen, engine, window)...)
+		out = append(out, r.secondPass(antennas, pkts, states, decodedIdx, traceLen, window)...)
 	}
 	return out
 }
@@ -266,8 +277,9 @@ func (r *Receiver) syncScore(st *thrive.PacketState) float64 {
 	return float64(hits) / float64(total)
 }
 
-// newCalc builds a signal-vector calculator with a provisional symbol count
-// (the true count is learned from the PHY header after assignment).
+// newCalc draws a pooled signal-vector calculator with a provisional symbol
+// count (the true count is learned from the PHY header after assignment).
+// The pool cursor is not goroutine-safe: call serially, before any fan-out.
 func (r *Receiver) newCalc(antennas [][]complex128, pk detect.Packet, traceLen int) *peaks.Calculator {
 	p := r.cfg.Params
 	lay, err := lora.NewLayout(p, r.cfg.MaxPayloadLen)
@@ -284,7 +296,7 @@ func (r *Receiver) newCalc(antennas [][]complex128, pk detect.Packet, traceLen i
 	if maxSyms == 0 || avail < maxSyms {
 		maxSyms = avail
 	}
-	return peaks.NewCalculator(r.demod, antennas, pk.Start, pk.CFOCycles, maxSyms)
+	return r.calcs.Get(r.demod, antennas, pk.Start, pk.CFOCycles, maxSyms)
 }
 
 // decodeAssigned turns a packet's assigned peak bins into a payload. idx is
@@ -478,13 +490,17 @@ func (r *Receiver) estimateSNR(st *thrive.PacketState) float64 {
 // failed packets' histories fitted over their first-pass observations.
 func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 	states []*thrive.PacketState, decodedIdx map[int]bool, traceLen int,
-	engine *thrive.Engine, window uint64) []Decoded {
+	window uint64) []Decoded {
 
 	t0 := r.met.now()
 	inner := prefillWorkers(parallel.Workers(r.cfg.Workers), len(pkts))
 	retry := make([]*thrive.PacketState, len(pkts))
+	calcs := make([]*peaks.Calculator, len(pkts))
+	for i := range pkts {
+		calcs[i] = r.newCalc(antennas, pkts[i], traceLen)
+	}
 	sigSt := parallel.ForEach(r.cfg.Workers, len(pkts), func(_, i int) {
-		st := thrive.NewPacketState(i, r.newCalc(antennas, pkts[i], traceLen))
+		st := thrive.NewPacketState(i, calcs[i])
 		if decodedIdx[i] {
 			st.Known = true
 			st.KnownShifts = states[i].KnownShifts
@@ -505,7 +521,7 @@ func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
 	r.met.observeSigCalc(t0)
 	r.met.onSigCalcParallel(sigSt)
 	t0 = r.met.now()
-	engine.Run(retry, traceLen)
+	r.engine.Run(retry, traceLen)
 	r.met.observeThrive(t0)
 
 	type outcome struct {

@@ -1,0 +1,25 @@
+package detect
+
+import (
+	"testing"
+
+	"tnb/internal/lora"
+)
+
+// TestScanPreamblesSteadyStateAllocs pins the scan's reuse contract: after a
+// warmup call sized every per-worker scratch, peak slot and run buffer, a
+// serial scan allocates (almost) nothing.
+func TestScanPreamblesSteadyStateAllocs(t *testing.T) {
+	p := lora.MustParams(8, 4, 125e3, 8)
+	tr := buildScanTrace(t, p, 7)
+	d := NewDetector(p)
+	d.Workers = 1
+	if cands := d.scanPreambles(tr.Antennas); len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	a := testing.AllocsPerRun(20, func() { d.scanPreambles(tr.Antennas) })
+	t.Logf("scanPreambles allocs/op after warmup: %v", a)
+	if a > 0 {
+		t.Fatalf("scanPreambles allocates %v/op in steady state", a)
+	}
+}

@@ -65,7 +65,17 @@ type Detector struct {
 	// zero in production.
 	CFOBiasCycles float64
 
-	scanPeaks [][]peaks.Peak // per-window peak slots, reused across calls
+	scanPeaks     [][]peaks.Peak      // per-window peak slots, reused across calls
+	scanScratches []*scanScratch      // per-worker scan state, reused across calls
+	scanFn        func(w, lo, hi int) // bound scan worker, created once so the
+	// fan-out does not allocate a fresh closure per call
+	scanAnts     [][]complex128   // scan call arguments, set around the fan-out
+	refScratches []*refineScratch // per-worker refine state, reused across calls
+	runPrev      []runState       // trackRuns generations, reused across calls
+	runCur       []runState
+	runPrevStamp []int32
+	runCurStamp  []int32
+	cands        []candidate // candidate buffer, reused across calls
 }
 
 // NewDetector builds a detector with the paper's defaults.
@@ -100,7 +110,7 @@ type refineScratch struct {
 	buf     []complex128 // dechirp/FFT buffer
 	upSum   []complex128 // coherent preamble sum (evalQ)
 	downSum []complex128 // coherent downchirp sum (evalQ)
-	med     []float64    // MedianScratch working space
+	med     []float64    // MedianScratch working space, 2n for the distribute path
 }
 
 func (d *Detector) newRefineScratch() *refineScratch {
@@ -111,7 +121,7 @@ func (d *Detector) newRefineScratch() *refineScratch {
 		buf:     make([]complex128, n),
 		upSum:   make([]complex128, n),
 		downSum: make([]complex128, n),
-		med:     make([]float64, n),
+		med:     make([]float64, 2*n),
 	}
 }
 
@@ -135,12 +145,14 @@ func (d *Detector) Detect(antennas [][]complex128) []Packet {
 	if maxWorkers < 1 {
 		maxWorkers = 1
 	}
-	scratches := make([]*refineScratch, maxWorkers)
+	for len(d.refScratches) < maxWorkers {
+		d.refScratches = append(d.refScratches, nil)
+	}
 	d.RefineStats = parallel.ForEach(d.Workers, len(cands), func(w, i int) {
-		if scratches[w] == nil {
-			scratches[w] = d.newRefineScratch()
+		if d.refScratches[w] == nil {
+			d.refScratches[w] = d.newRefineScratch()
 		}
-		pkt, reject := d.refine(antennas, cands[i], scratches[w])
+		pkt, reject := d.refine(antennas, cands[i], d.refScratches[w])
 		results[i] = refined{pkt: pkt, reject: reject}
 	})
 
@@ -164,23 +176,35 @@ func (d *Detector) Detect(antennas [][]complex128) []Packet {
 	return pkts
 }
 
-// scanScratch is one scan worker's reusable buffers for the per-window
-// transform: the per-antenna signal vector, the dechirp/FFT buffer, the
-// summed accumulator and the median scratch of the adaptive selectivity.
+// scanBatchRows is the number of consecutive windows a scan worker
+// transforms per ScanKernel call: enough rows to amortize the batched FFT's
+// per-call work while the batch (rows·N complex samples plus two rows·N
+// float stacks) stays cache-resident.
+const scanBatchRows = 8
+
+// scanScratch is one scan worker's reusable state for the window transform:
+// the batched scan kernel, the batch accumulator, the per-antenna batch
+// vector (multi-antenna traces only) and the median scratch of the adaptive
+// selectivity.
 type scanScratch struct {
-	y   []float64
-	buf []complex128
-	acc []float64
-	med []float64
+	kernel *lora.ScanKernel
+	accb   []float64 // summed batch, scanBatchRows·n
+	yb     []float64 // per-antenna batch, allocated on first multi-antenna use
+	med    []float64 // MedianScratch working space, 2n for the distribute path
+	// lastMed seeds the next window's median selection: neighboring windows
+	// share a noise floor, so the previous median splits the distribute at
+	// the rank error. A stale or useless seed only costs speed — the
+	// selection returns the exact median under any pivot — so it never
+	// resets, not even across traces.
+	lastMed float64
 }
 
 func (d *Detector) newScanScratch() *scanScratch {
 	n := d.p.N()
 	return &scanScratch{
-		y:   make([]float64, n),
-		buf: make([]complex128, n),
-		acc: make([]float64, n),
-		med: make([]float64, n),
+		kernel: d.demod.NewScanKernel(),
+		accb:   make([]float64, scanBatchRows*n),
+		med:    make([]float64, 2*n),
 	}
 }
 
@@ -189,11 +213,17 @@ func (d *Detector) newScanScratch() *scanScratch {
 //
 // The per-window work — dechirp + FFT per antenna, the median-based
 // selectivity and the peak search — touches only the read-shared trace and
-// per-worker scratch, so it fans out across Workers goroutines into
-// window-indexed slots. The run-tracking pass that strings peaks into
-// preamble candidates is inherently sequential (window g's runs extend
-// window g−1's) and walks the slots serially in window order, so the
-// candidate list is byte-identical at every pool width.
+// per-worker scratch, so it fans out across workers. Each worker owns one
+// contiguous window range (per-window hand-off measured slower than the
+// serial scan at 4 workers: the per-item cursor and slot-neighbor cache
+// traffic cost more than a window's work) and walks it in batches of
+// scanBatchRows windows through the fused ScanKernel. Results land in
+// window-indexed slots; every batch row is bit-identical to the
+// SignalVectorInto path, so chunk and batch boundaries never change the
+// output. The run-tracking pass that strings peaks into preamble candidates
+// is inherently sequential (window g's runs extend window g−1's) and walks
+// the slots serially in window order, so the candidate list is
+// byte-identical at every pool width.
 func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 	n := d.p.N()
 	sym := d.p.SymbolSamples()
@@ -203,41 +233,93 @@ func (d *Detector) scanPreambles(antennas [][]complex128) []candidate {
 	}
 
 	if cap(d.scanPeaks) < nwin {
-		d.scanPeaks = make([][]peaks.Peak, nwin)
+		sp := make([][]peaks.Peak, nwin)
+		copy(sp, d.scanPeaks)
+		d.scanPeaks = sp
 	}
 	winPeaks := d.scanPeaks[:nwin]
+	// Fan out over whole batches, not windows, so every worker's range is
+	// batch-aligned and only the final batch of the whole scan can be
+	// partial — otherwise each worker ends its range on a short kernel
+	// call, an overhead that grows with the pool width.
+	nbat := (nwin + scanBatchRows - 1) / scanBatchRows
 	maxWorkers := parallel.Workers(d.Workers)
-	if maxWorkers > nwin {
-		maxWorkers = nwin
+	if maxWorkers > nbat {
+		maxWorkers = nbat
 	}
-	scratches := make([]*scanScratch, maxWorkers)
-	d.ScanStats = parallel.ForEach(d.Workers, nwin, func(w, g int) {
-		sc := scratches[w]
-		if sc == nil {
-			sc = d.newScanScratch()
-			scratches[w] = sc
-		}
-		acc := sc.acc
-		for i := range acc {
-			acc[i] = 0
-		}
-		for _, ant := range antennas {
-			d.demod.SignalVectorInto(sc.y, sc.buf, ant, float64(g*sym), 0, 0)
-			for i := range acc {
-				acc[i] += sc.y[i]
-			}
-		}
-		// Selectivity tied to the noise floor (median bin) rather than the
-		// window's range, so a weak preamble is tracked next to a much
-		// stronger collider.
-		sel := d.MinPeakHeight
-		if sel == 0 {
-			sel = 6 * stats.MedianScratch(acc, sc.med)
-		}
-		winPeaks[g] = peaks.Find(acc, sel, d.MaxPeaksPerWindow)
-	})
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	for len(d.scanScratches) < maxWorkers {
+		d.scanScratches = append(d.scanScratches, nil)
+	}
+	if d.scanFn == nil {
+		d.scanFn = d.scanWorker
+	}
+	d.scanAnts = antennas
+	d.ScanStats = parallel.ForEachChunks(d.Workers, nbat, d.scanFn)
+	d.scanAnts = nil
 
 	return d.trackRuns(winPeaks, n)
+}
+
+// scanWorker transforms the scan windows of batch range [blo, bhi) into
+// d.scanPeaks slots, scanBatchRows consecutive windows per kernel call. It
+// reads its call arguments from d.scanAnts (set by scanPreambles around the
+// fan-out) so the bound d.scanFn closure is created once instead of per
+// call.
+func (d *Detector) scanWorker(w, blo, bhi int) {
+	n := d.p.N()
+	sym := d.p.SymbolSamples()
+	antennas := d.scanAnts
+	nwin := len(antennas[0]) / sym
+	lo, hi := blo*scanBatchRows, bhi*scanBatchRows
+	if hi > nwin {
+		hi = nwin
+	}
+	sc := d.scanScratches[w]
+	if sc == nil {
+		sc = d.newScanScratch()
+		d.scanScratches[w] = sc
+	}
+	for g0 := lo; g0 < hi; g0 += scanBatchRows {
+		rows := hi - g0
+		if rows > scanBatchRows {
+			rows = scanBatchRows
+		}
+		acc := sc.accb[:rows*n]
+		sc.kernel.UpVectorsInto(acc, antennas[0], g0*sym, sym, rows)
+		for _, ant := range antennas[1:] {
+			if sc.yb == nil {
+				sc.yb = make([]float64, scanBatchRows*n)
+			}
+			y := sc.yb[:rows*n]
+			sc.kernel.UpVectorsInto(y, ant, g0*sym, sym, rows)
+			for i := range acc {
+				acc[i] += y[i]
+			}
+		}
+		for r := 0; r < rows; r++ {
+			row := acc[r*n : (r+1)*n]
+			// Selectivity tied to the noise floor (median bin) rather
+			// than the window's range, so a weak preamble is tracked
+			// next to a much stronger collider.
+			g := g0 + r
+			if sel := d.MinPeakHeight; sel != 0 {
+				d.scanPeaks[g] = peaks.FindInto(d.scanPeaks[g], row, sel, d.MaxPeaksPerWindow)
+			} else {
+				med, rot := stats.MedianArgMin(row, sc.med, sc.lastMed)
+				sc.lastMed = med
+				if sel = 6 * med; sel > 0 {
+					d.scanPeaks[g] = peaks.FindIntoAt(d.scanPeaks[g], row, sel, d.MaxPeaksPerWindow, rot)
+				} else {
+					// Degenerate window (median 0 or NaN): keep FindInto's
+					// default-selectivity handling.
+					d.scanPeaks[g] = peaks.FindInto(d.scanPeaks[g], row, sel, d.MaxPeaksPerWindow)
+				}
+			}
+		}
+	}
 }
 
 // runState is one bin's active run of consecutive-window peaks.
@@ -255,14 +337,18 @@ type runState struct {
 // window — the stamp check replaces both the map lookups and the per-window
 // map churn.
 func (d *Detector) trackRuns(winPeaks [][]peaks.Peak, n int) []candidate {
-	prev, cur := make([]runState, n), make([]runState, n)
-	prevStamp, curStamp := make([]int32, n), make([]int32, n)
+	if cap(d.runPrev) < n {
+		d.runPrev, d.runCur = make([]runState, n), make([]runState, n)
+		d.runPrevStamp, d.runCurStamp = make([]int32, n), make([]int32, n)
+	}
+	prev, cur := d.runPrev[:n], d.runCur[:n]
+	prevStamp, curStamp := d.runPrevStamp[:n], d.runCurStamp[:n]
 	for i := range prevStamp {
 		prevStamp[i] = -1
 		curStamp[i] = -1
 	}
 
-	var cands []candidate
+	cands := d.cands[:0]
 	for g, ps := range winPeaks {
 		for _, pk := range ps {
 			best := (*runState)(nil)
@@ -296,6 +382,7 @@ func (d *Detector) trackRuns(winPeaks [][]peaks.Peak, n int) []candidate {
 		prev, cur = cur, prev
 		prevStamp, curStamp = curStamp, prevStamp
 	}
+	d.cands = cands
 	return cands
 }
 

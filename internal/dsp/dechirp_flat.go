@@ -1,0 +1,105 @@
+//go:build !tnb_noflat
+
+package dsp
+
+import "math"
+
+// rotFlat is the Rotator recurrence on split re/im scalars. It performs the
+// exact multiply/renorm sequence of Rotator (same naive complex product,
+// same RotatorRenormBlock boundaries), so its stream is bit-identical.
+type rotFlat struct {
+	phase0, dphase float64
+	curRe, curIm   float64
+	stepRe, stepIm float64
+	k              int
+}
+
+func newRotFlat(phase0, dphase float64) rotFlat {
+	s0, c0 := math.Sincos(phase0)
+	ss, cs := math.Sincos(dphase)
+	return rotFlat{phase0: phase0, dphase: dphase,
+		curRe: c0, curIm: s0, stepRe: cs, stepIm: ss}
+}
+
+func (r *rotFlat) next() (re, im float64) {
+	re, im = r.curRe, r.curIm
+	r.k++
+	if r.k&(RotatorRenormBlock-1) == 0 {
+		s, c := math.Sincos(r.phase0 + r.dphase*float64(r.k))
+		r.curRe, r.curIm = c, s
+	} else {
+		r.curRe, r.curIm = r.curRe*r.stepRe-r.curIm*r.stepIm,
+			r.curRe*r.stepIm+r.curIm*r.stepRe
+	}
+	return re, im
+}
+
+// DechirpFusedFlat is DechirpFused writing split re/im outputs: dstRe[k] and
+// dstIm[k] receive the real and imaginary parts of the dechirped sample the
+// complex kernel would store in dst[k]. Downstream split-layout transforms
+// (ForwardMagBatchFlat) consume the planes directly, so the symbol never
+// round-trips through []complex128. Every arithmetic expression matches the
+// complex kernel's IEEE sequence, so the planes are bit-identical to the
+// complex result; the kernel contract only requires ≤1e-9. len(ref),
+// len(dstRe) and len(dstIm) must be equal.
+//
+// Builds with the tnb_noflat tag replace this file with a fallback that
+// routes through DechirpFused (see dechirp_flat_fallback.go).
+func DechirpFusedFlat(dstRe, dstIm []float64, x []complex128, start, step float64, ref []complex128, phase0, dphase float64) {
+	n := len(x)
+	rotate := phase0 != 0 || dphase != 0
+	if s0, si := int(start), int(step); float64(s0) == start && float64(si) == step {
+		if rotate {
+			rot := newRotFlat(phase0, dphase)
+			for k := range dstRe {
+				wr, wi := rot.next()
+				pos := s0 + k*si
+				if uint(pos) >= uint(n) {
+					dstRe[k], dstIm[k] = 0, 0
+					continue
+				}
+				v, r := x[pos], ref[k]
+				mr := real(v)*real(r) + imag(v)*imag(r)
+				mi := imag(v)*real(r) - real(v)*imag(r)
+				dstRe[k] = mr*wr - mi*wi
+				dstIm[k] = mr*wi + mi*wr
+			}
+			return
+		}
+		for k := range dstRe {
+			pos := s0 + k*si
+			if uint(pos) >= uint(n) {
+				dstRe[k], dstIm[k] = 0, 0
+				continue
+			}
+			v, r := x[pos], ref[k]
+			dstRe[k] = real(v)*real(r) + imag(v)*imag(r)
+			dstIm[k] = imag(v)*real(r) - real(v)*imag(r)
+		}
+		return
+	}
+
+	if rotate {
+		rot := newRotFlat(phase0, dphase)
+		pos := start
+		for k := range dstRe {
+			wr, wi := rot.next()
+			v := sampleLinear(x, pos, n)
+			pos += step
+			r := ref[k]
+			mr := real(v)*real(r) + imag(v)*imag(r)
+			mi := imag(v)*real(r) - real(v)*imag(r)
+			dstRe[k] = mr*wr - mi*wi
+			dstIm[k] = mr*wi + mi*wr
+		}
+		return
+	}
+	pos := start
+	for k := range dstRe {
+		v := sampleLinear(x, pos, n)
+		pos += step
+		r := ref[k]
+		dstRe[k] = real(v)*real(r) + imag(v)*imag(r)
+		dstIm[k] = imag(v)*real(r) - real(v)*imag(r)
+	}
+}

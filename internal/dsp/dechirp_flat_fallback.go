@@ -1,0 +1,15 @@
+//go:build tnb_noflat
+
+package dsp
+
+// DechirpFusedFlat under the tnb_noflat tag: run the complex kernel into a
+// temporary and split the planes. Numerically identical to the flat kernel;
+// allocates one scratch symbol per call, which only matters on targets that
+// opted out of the flat inner loops.
+func DechirpFusedFlat(dstRe, dstIm []float64, x []complex128, start, step float64, ref []complex128, phase0, dphase float64) {
+	tmp := make([]complex128, len(dstRe))
+	DechirpFused(tmp, x, start, step, ref, phase0, dphase)
+	for i, v := range tmp {
+		dstRe[i], dstIm[i] = real(v), imag(v)
+	}
+}

@@ -1,0 +1,142 @@
+//go:build !tnb_noflat
+
+package dsp
+
+// FlatKernels reports whether this build carries the split re/im
+// kernels (true) or the tnb_noflat fallbacks (false); tests use it to skip
+// guarantees the fallbacks intentionally trade away.
+const FlatKernels = true
+
+// ForwardMagBatchFlat is ForwardMagBatch on split re/im rows: re and im hold
+// the real and imaginary parts of rows stacked symbols, and y receives the
+// squared magnitudes. Split []float64 loops vectorize far better than
+// []complex128 ones, and every arithmetic step below is the same naive
+// IEEE expression the complex kernels compile to (Go emits the textbook
+// 4-multiply complex product with no FMA contraction on the supported
+// targets), so the result is bit-identical to ForwardMagBatch on the
+// interleaved data — the parity tests pin it at the bit level, the kernel
+// contract only requires ≤1e-9. re and im are consumed as scratch.
+//
+// Builds with the tnb_noflat tag replace this file with a fallback that
+// routes through the complex kernels (see fft_flat_fallback.go).
+func (p *FFTPlan) ForwardMagBatchFlat(y, re, im []float64, rows int) {
+	n := p.n
+	if len(re) != rows*n || len(im) != rows*n || len(y) != rows*n {
+		panic("dsp: ForwardMagBatchFlat length mismatch")
+	}
+	if rows <= 0 {
+		return
+	}
+	if n < 8 {
+		// Tiny transforms are interleaved back and routed through the
+		// complex kernel; no pipeline size hits this path.
+		x := make([]complex128, n)
+		for r := 0; r < rows; r++ {
+			for i := 0; i < n; i++ {
+				x[i] = complex(re[r*n+i], im[r*n+i])
+			}
+			p.ForwardMag(y[r*n:(r+1)*n], x)
+		}
+		return
+	}
+	total := rows * n
+	// Bit-reversal per row, swapping both planes.
+	for r := 0; r < total; r += n {
+		for i := 0; i < n; i++ {
+			j := int(p.rev[i])
+			if i < j {
+				re[r+i], re[r+j] = re[r+j], re[r+i]
+				im[r+i], im[r+j] = im[r+j], im[r+i]
+			}
+		}
+	}
+	p.forwardMagStagesFlat(y, re, im, total)
+}
+
+// ForwardMagBatchFlatRev is ForwardMagBatchRev on split re/im planes: the
+// rows are already stored in bit-reversed order, so the swap pass is
+// skipped. Requires the plan size to be ≥ 8.
+func (p *FFTPlan) ForwardMagBatchFlatRev(y, re, im []float64, rows int) {
+	n := p.n
+	if len(re) != rows*n || len(im) != rows*n || len(y) != rows*n {
+		panic("dsp: ForwardMagBatchFlatRev length mismatch")
+	}
+	if rows <= 0 {
+		return
+	}
+	if n < 8 {
+		panic("dsp: ForwardMagBatchFlatRev needs plan size >= 8")
+	}
+	p.forwardMagStagesFlat(y, re, im, rows*n)
+}
+
+// forwardMagStagesFlat runs the shared post-reversal stage sequence on split
+// planes over a flat stack of total samples.
+func (p *FFTPlan) forwardMagStagesFlat(y, re, im []float64, total int) {
+	n := p.n
+	// Size-2 stage: w = 1 everywhere.
+	for i := 0; i+1 < total; i += 2 {
+		ar, ai := re[i], im[i]
+		br, bi := re[i+1], im[i+1]
+		re[i], im[i] = ar+br, ai+bi
+		re[i+1], im[i+1] = ar-br, ai-bi
+	}
+	// Size-4 stage: w ∈ {1, -i}; -i·d = (imag(d), -real(d)).
+	for s := 0; s < total; s += 4 {
+		ar, ai := re[s], im[s]
+		br, bi := re[s+2], im[s+2]
+		re[s], im[s] = ar+br, ai+bi
+		re[s+2], im[s+2] = ar-br, ai-bi
+		cr, ci := re[s+1], im[s+1]
+		dr, di := re[s+3], im[s+3]
+		tr, ti := di, -dr
+		re[s+1], im[s+1] = cr+tr, ci+ti
+		re[s+3], im[s+3] = cr-tr, ci-ti
+	}
+	// Generic stages up to n/2, block-major: the twiddle table is tiny and
+	// cache-resident, so walking each block sequentially beats sweeping a
+	// twiddle across strided blocks. Subslices bound to the block length
+	// let the compiler drop the inner-loop bounds checks.
+	for size := 8; size <= n>>1; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for base := 0; base < total; base += size {
+			loRe := re[base : base+half : base+half]
+			loIm := im[base : base+half : base+half]
+			hiRe := re[base+half : base+size : base+size]
+			hiIm := im[base+half : base+size : base+size]
+			ar, ai := loRe[0], loIm[0]
+			br, bi := hiRe[0], hiIm[0]
+			loRe[0], loIm[0] = ar+br, ai+bi
+			hiRe[0], hiIm[0] = ar-br, ai-bi
+			k := step
+			for i := 1; i < half; i++ {
+				wr, wi := p.twRe[k], p.twIm[k]
+				xr, xi := hiRe[i], hiIm[i]
+				tr := wr*xr - wi*xi
+				ti := wr*xi + wi*xr
+				hiRe[i], hiIm[i] = loRe[i]-tr, loIm[i]-ti
+				loRe[i] += tr
+				loIm[i] += ti
+				k += step
+			}
+		}
+	}
+	// Final stage fused with the magnitude computation, per row.
+	half := n >> 1
+	for r := 0; r < total; r += n {
+		for i := 0; i < half; i++ {
+			lo, hi := r+i, r+i+half
+			ur, ui := re[lo], im[lo]
+			tr, ti := re[hi], im[hi]
+			if i != 0 {
+				wr, wi := p.twRe[i], p.twIm[i]
+				tr, ti = wr*tr-wi*ti, wr*ti+wi*tr
+			}
+			ar, ai := ur+tr, ui+ti
+			br, bi := ur-tr, ui-ti
+			y[lo] = ar*ar + ai*ai
+			y[hi] = br*br + bi*bi
+		}
+	}
+}

@@ -1,0 +1,51 @@
+//go:build tnb_noflat
+
+package dsp
+
+// FlatKernels: this build carries the tnb_noflat fallbacks.
+const FlatKernels = false
+
+// ForwardMagBatchFlat under the tnb_noflat tag: interleave the split planes
+// into a complex stack and route through ForwardMagBatch. Numerically
+// identical to the flat kernel (both compute the same naive IEEE
+// expressions); it trades the vectorization win — and the zero-allocation
+// guarantee — for not carrying the flat inner loops on targets that opt
+// out. re and im are still consumed as scratch to keep the contract
+// uniform.
+func (p *FFTPlan) ForwardMagBatchFlat(y, re, im []float64, rows int) {
+	n := p.n
+	if len(re) != rows*n || len(im) != rows*n || len(y) != rows*n {
+		panic("dsp: ForwardMagBatchFlat length mismatch")
+	}
+	if rows <= 0 {
+		return
+	}
+	x := make([]complex128, rows*n)
+	for i := range x {
+		x[i] = complex(re[i], im[i])
+	}
+	p.ForwardMagBatch(y, x, rows)
+	for i, v := range x {
+		re[i], im[i] = real(v), imag(v)
+	}
+}
+
+// ForwardMagBatchFlatRev under the tnb_noflat tag: interleave and route
+// through the complex pre-reversed batch transform.
+func (p *FFTPlan) ForwardMagBatchFlatRev(y, re, im []float64, rows int) {
+	n := p.n
+	if len(re) != rows*n || len(im) != rows*n || len(y) != rows*n {
+		panic("dsp: ForwardMagBatchFlatRev length mismatch")
+	}
+	if rows <= 0 {
+		return
+	}
+	x := make([]complex128, rows*n)
+	for i := range x {
+		x[i] = complex(re[i], im[i])
+	}
+	p.ForwardMagBatchRev(y, x, rows)
+	for i, v := range x {
+		re[i], im[i] = real(v), imag(v)
+	}
+}

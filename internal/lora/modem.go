@@ -181,6 +181,16 @@ func (d *Demodulator) SignalVectorInto(y []float64, buf []complex128, rx []compl
 	d.plan.ForwardMag(y, buf)
 }
 
+// ForwardMagBatch computes y[r·N:(r+1)·N] = |FFT(xb[r·N:(r+1)·N])|² for rows
+// stacked dechirped symbols in one shared twiddle sweep — bit-identical per
+// row to the ForwardMag call inside SignalVectorInto (dsp.ForwardMagBatch's
+// contract). xb is consumed as scratch. Callers dechirp each row themselves
+// (DechirpInto), which keeps fractional starts and per-symbol CFO phases
+// exactly as in the unbatched path.
+func (d *Demodulator) ForwardMagBatch(y []float64, xb []complex128, rows int) {
+	d.plan.ForwardMagBatch(y, xb, rows)
+}
+
 // SignalVector is the allocating convenience form of SignalVectorInto.
 func (d *Demodulator) SignalVector(rx []complex128, start float64, cfoCycles float64, symIndex int) []float64 {
 	y := make([]float64, d.p.N())

@@ -1,0 +1,103 @@
+package lora
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scanTestTrace renders a packet into a noisy trace long enough for several
+// scan windows, including a partial window off the end.
+func scanTestTrace(t *testing.T, p Params) []complex128 {
+	t.Helper()
+	shifts, _, err := Encode(p, []uint8{0xA5, 0x5A, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := NewWaveform(p, shifts).Render(0.3, 40, 0.7)
+	rng := rand.New(rand.NewSource(17))
+	rx := make([]complex128, len(sig)+3*p.SymbolSamples()+123)
+	for i := range rx {
+		rx[i] = complex(0.05*rng.NormFloat64(), 0.05*rng.NormFloat64())
+	}
+	off := p.SymbolSamples() + 37
+	for i, v := range sig {
+		rx[off+i] += v
+	}
+	return rx
+}
+
+// TestScanKernelMatchesSignalVector pins the batched rev-load kernel against
+// SignalVectorInto bit for bit, across batch sizes and windows that run off
+// the end of the trace.
+func TestScanKernelMatchesSignalVector(t *testing.T) {
+	p := MustParams(8, 4, 125e3, 8)
+	d := NewDemodulator(p)
+	rx := scanTestTrace(t, p)
+	n := p.N()
+	sym := p.SymbolSamples()
+	nwin := len(rx)/sym + 1 // last start runs past the end
+
+	want := make([]float64, n)
+	buf := make([]complex128, n)
+	k := d.NewScanKernel()
+	for _, rows := range []int{1, 3, 8} {
+		y := make([]float64, rows*n)
+		for g0 := 0; g0 < nwin; g0 += rows {
+			r := min(rows, nwin-g0)
+			k.UpVectorsInto(y[:r*n], rx, g0*sym, sym, r)
+			for j := 0; j < r; j++ {
+				d.SignalVectorInto(want, buf, rx, float64((g0+j)*sym), 0, 0)
+				for i := range want {
+					if math.Float64bits(y[j*n+i]) != math.Float64bits(want[i]) {
+						t.Fatalf("rows=%d window=%d bin=%d: kernel=%v, SignalVectorInto=%v",
+							rows, g0+j, i, y[j*n+i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScanKernelZeroSteadyStateAllocs pins the kernel's reuse contract.
+func TestScanKernelZeroSteadyStateAllocs(t *testing.T) {
+	p := MustParams(8, 4, 125e3, 8)
+	d := NewDemodulator(p)
+	rx := scanTestTrace(t, p)
+	n, sym := p.N(), p.SymbolSamples()
+	const rows = 8
+	k := d.NewScanKernel()
+	y := make([]float64, rows*n)
+	k.UpVectorsInto(y, rx, 0, sym, rows)
+	a := testing.AllocsPerRun(50, func() { k.UpVectorsInto(y, rx, 0, sym, rows) })
+	if a != 0 {
+		t.Fatalf("UpVectorsInto allocates %v/op in steady state", a)
+	}
+}
+
+func BenchmarkScanKernel(b *testing.B) {
+	p := MustParams(8, 4, 125e3, 8)
+	d := NewDemodulator(p)
+	shifts, _, _ := Encode(p, []uint8{1, 2, 3, 4, 5, 6, 7, 8})
+	rx := NewWaveform(p, shifts).Render(0, 0, 0)
+	n, sym := p.N(), p.SymbolSamples()
+	const rows = 8
+	b.Run("per-window", func(b *testing.B) {
+		y := make([]float64, n)
+		buf := make([]complex128, n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				d.SignalVectorInto(y, buf, rx, float64(r*sym), 0, 0)
+			}
+		}
+	})
+	b.Run("batched-kernel", func(b *testing.B) {
+		k := d.NewScanKernel()
+		y := make([]float64, rows*n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k.UpVectorsInto(y, rx, 0, sym, rows)
+		}
+	})
+}

@@ -61,6 +61,59 @@ func (s Stats) UtilizationPermille() int64 {
 //
 // fn must not assume any ordering between items; determinism comes from
 // writing results to index-addressed slots.
+// ForEachChunks splits [0, n) into one contiguous range per worker (sizes
+// differing by at most one, earlier workers taking the longer ranges) and
+// runs fn(worker, lo, hi) once per range. It is the coarse-grained
+// counterpart of ForEach for uniform-cost items: a worker owns a whole
+// range, so per-item hand-off (and its cursor contention and cache-line
+// ping-pong on neighboring slots) disappears, and fn can batch work across
+// its range. With workers <= 1 (or n <= 1) the single range runs inline on
+// the calling goroutine — the serial path allocates nothing and spawns
+// nothing.
+//
+// fn must not assume any ordering between ranges; determinism comes from
+// writing results to index-addressed slots.
+func ForEachChunks(workers, n int, fn func(worker, lo, hi int)) Stats {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		t0 := time.Now()
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		wall := time.Since(t0)
+		return Stats{Wall: wall, Busy: wall, Workers: 1}
+	}
+
+	t0 := time.Now()
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	chunk, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			start := time.Now()
+			fn(w, lo, hi)
+			busy[w] = time.Since(start)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	st := Stats{Wall: time.Since(t0), Workers: workers}
+	for _, b := range busy {
+		st.Busy += b
+	}
+	return st
+}
+
 func ForEach(workers, n int, fn func(worker, i int)) Stats {
 	workers = Workers(workers)
 	if workers > n {

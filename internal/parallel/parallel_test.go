@@ -38,6 +38,76 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	}
 }
 
+func TestForEachChunksCoversRangeExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 16, 1000} {
+			counts := make([]atomic.Int32, n)
+			var calls atomic.Int32
+			st := ForEachChunks(workers, n, func(w, lo, hi int) {
+				calls.Add(1)
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty range [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+			})
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+			want := workers
+			if want > n {
+				want = n
+			}
+			if n == 0 {
+				if calls.Load() != 0 {
+					t.Fatalf("n=0: fn called %d times", calls.Load())
+				}
+				continue
+			}
+			if int(calls.Load()) != want {
+				t.Fatalf("workers=%d n=%d: fn called %d times, want one per worker (%d)",
+					workers, n, calls.Load(), want)
+			}
+			if st.Workers != want {
+				t.Fatalf("workers=%d n=%d: Stats.Workers = %d, want %d", workers, n, st.Workers, want)
+			}
+		}
+	}
+}
+
+func TestForEachChunksBalanced(t *testing.T) {
+	// 10 items over 4 workers: range sizes must differ by at most one.
+	sizes := make([]int, 4)
+	ForEachChunks(4, 10, func(w, lo, hi int) { sizes[w] = hi - lo })
+	minS, maxS := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS-minS > 1 {
+		t.Fatalf("unbalanced chunks: %v", sizes)
+	}
+}
+
+func TestForEachChunksSerialZeroAllocs(t *testing.T) {
+	sink := 0
+	fn := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink += i
+		}
+	}
+	if a := testing.AllocsPerRun(100, func() { ForEachChunks(1, 64, fn) }); a != 0 {
+		t.Fatalf("serial ForEachChunks allocates %v/op", a)
+	}
+}
+
 func TestForEachWorkerIDsBounded(t *testing.T) {
 	const workers, n = 4, 200
 	var bad atomic.Int32

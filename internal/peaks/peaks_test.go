@@ -95,6 +95,81 @@ func TestFindDefaultSelectivity(t *testing.T) {
 	}
 }
 
+// TestFindIntoMatchesFind pins FindInto as a drop-in for Find on random
+// noisy vectors, and checks the reused buffer never allocates once grown.
+func TestFindIntoMatchesFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []Peak
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(300)
+		y := make([]float64, n)
+		for i := range y {
+			v := rng.NormFloat64()
+			y[i] = v * v
+		}
+		// A few injected tones so most trials have real peaks.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			y[rng.Intn(n)] += 10 + 10*rng.Float64()
+		}
+		sel := 6 * stableMedian(y)
+		maxPeaks := rng.Intn(6) // includes 0 = unlimited
+		want := Find(y, sel, maxPeaks)
+		buf = FindInto(buf, y, sel, maxPeaks)
+		if len(want) != len(buf) {
+			t.Fatalf("trial %d: Find=%d peaks, FindInto=%d", trial, len(want), len(buf))
+		}
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("trial %d peak %d: Find=%+v FindInto=%+v", trial, i, want[i], buf[i])
+			}
+		}
+	}
+}
+
+func stableMedian(y []float64) float64 {
+	s := append([]float64(nil), y...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// TestFindIntoZeroSteadyStateAllocs pins the reuse contract.
+func TestFindIntoZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	y := make([]float64, 256)
+	for i := range y {
+		v := rng.NormFloat64()
+		y[i] = v * v
+	}
+	y[40] += 25
+	y[90] += 18
+	buf := FindInto(nil, y, 3, 0)
+	if n := testing.AllocsPerRun(100, func() { buf = FindInto(buf, y, 3, 0) }); n != 0 {
+		t.Fatalf("FindInto allocates %v/op with a reused buffer", n)
+	}
+}
+
+// TestFindSortIsStable pins that equal-height peaks keep scan order, so the
+// truncation to maxPeaks is deterministic.
+func TestFindSortIsStable(t *testing.T) {
+	y := make([]float64, 64)
+	for _, bin := range []int{5, 20, 40, 57} {
+		y[bin] = 10
+	}
+	got := Find(y, 3, 0)
+	if len(got) != 4 {
+		t.Fatalf("got %d peaks, want 4", len(got))
+	}
+	for i, wantBin := range []int{5, 20, 40, 57} {
+		if got[i].Bin != wantBin {
+			t.Fatalf("peak %d at bin %d, want %d (stable order)", i, got[i].Bin, wantBin)
+		}
+	}
+}
+
 func TestHighestBin(t *testing.T) {
 	if HighestBin([]float64{1, 5, 2}) != 1 {
 		t.Error("HighestBin failed")
@@ -314,4 +389,58 @@ func fftMag(x []complex128) []float64 {
 	y := make([]float64, len(fx))
 	dsp.MagSq(y, fx)
 	return y
+}
+
+// TestFindIntoAtMatchesFindInto pins the scan's fused path: given the first
+// index of the minimum and a positive selectivity, FindIntoAt must return the
+// same peaks as FindInto, which recomputes both itself. Covers ties at the
+// minimum (the "first index" contract), minimum at index 0, and selectivities
+// large enough that nothing survives.
+func TestFindIntoAtMatchesFindInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var bufA, bufB []Peak
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(300)
+		y := make([]float64, n)
+		for i := range y {
+			v := rng.NormFloat64()
+			y[i] = v * v
+		}
+		switch trial % 5 {
+		case 1: // ties at the minimum
+			for i := range y {
+				y[i] = math.Trunc(y[i] * 2)
+			}
+		case 2: // minimum at index 0
+			y[0] = -1
+		case 3: // injected tones
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				y[rng.Intn(n)] += 10 + 10*rng.Float64()
+			}
+		}
+		rot := 0
+		for i, v := range y {
+			if v < y[rot] {
+				rot = i
+			}
+		}
+		sel := 0.1 + 6*stableMedian(y) // keep sel > 0 per the contract
+		if trial%7 == 0 {
+			sel = 1e6 // provably nothing survives; both must return empty
+		}
+		maxPeaks := rng.Intn(6)
+		bufA = FindInto(bufA, y, sel, maxPeaks)
+		bufB = FindIntoAt(bufB, y, sel, maxPeaks, rot)
+		if len(bufA) != len(bufB) {
+			t.Fatalf("trial %d (n=%d sel=%v): FindInto=%d peaks, FindIntoAt=%d", trial, n, sel, len(bufA), len(bufB))
+		}
+		for i := range bufA {
+			if bufA[i] != bufB[i] {
+				t.Fatalf("trial %d peak %d: FindInto=%+v FindIntoAt=%+v", trial, i, bufA[i], bufB[i])
+			}
+		}
+	}
+	if got := FindIntoAt(bufB, nil, 1, 0, 0); len(got) != 0 {
+		t.Fatalf("empty input: got %v", got)
+	}
 }

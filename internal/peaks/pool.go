@@ -1,0 +1,38 @@
+package peaks
+
+import "tnb/internal/lora"
+
+// CalcPool recycles Calculators across decode windows and passes. A packet's
+// calculator owns a slots×N arena (~100 KB at SF8 for a full-length packet),
+// which dominated the receiver's per-decode allocations; the pool keeps the
+// arenas alive and Reset re-targets them, so a steady-state decode pays no
+// arena allocations at all.
+//
+// Usage is cursor-based: Rewind at the start of a decode, then Get once per
+// packet (both passes share the cursor, so a two-pass decode draws up to
+// 2·npackets calculators). Get must be called from a single goroutine; the
+// returned calculators can then be prefilled and read concurrently as usual.
+// A CalcPool is not safe for concurrent use.
+type CalcPool struct {
+	calcs []*Calculator
+	next  int
+}
+
+// Rewind returns every pooled calculator to the free list. Vectors cached in
+// pooled calculators become invalid after the next Get reuses their slot.
+func (p *CalcPool) Rewind() { p.next = 0 }
+
+// Get returns a calculator reset for the packet, reusing a pooled one when
+// available.
+func (p *CalcPool) Get(d *lora.Demodulator, antennas [][]complex128, start, cfoCycles float64, numData int) *Calculator {
+	if p.next < len(p.calcs) {
+		c := p.calcs[p.next]
+		p.next++
+		c.Reset(d, antennas, start, cfoCycles, numData)
+		return c
+	}
+	c := NewCalculator(d, antennas, start, cfoCycles, numData)
+	p.calcs = append(p.calcs, c)
+	p.next++
+	return c
+}

@@ -34,6 +34,11 @@ type Calculator struct {
 
 	buf     []complex128
 	scratch []float64
+
+	// Batched-prefill scratch for the first worker: prefillBatchRows
+	// dechirped rows stacked for one ForwardMagBatch twiddle sweep.
+	batchBuf []complex128
+	batchY   []float64
 }
 
 // preambleOffset is the number of negative (preamble + sync) symbol indices
@@ -44,22 +49,43 @@ const preambleOffset = lora.PreambleUpchirps + lora.SyncSymbols
 // the (fractional) rx-sample position start with the given CFO in cycles
 // per symbol, carrying numData data symbols.
 func NewCalculator(d *lora.Demodulator, antennas [][]complex128, start, cfoCycles float64, numData int) *Calculator {
+	c := &Calculator{}
+	c.Reset(d, antennas, start, cfoCycles, numData)
+	return c
+}
+
+// Reset re-targets the calculator at a new packet, invalidating every cached
+// vector while keeping the arena and scratch buffers (regrown only when the
+// new packet needs more slots than any before). It is what lets a CalcPool
+// recycle calculators across decode passes without re-paying the arena
+// allocation per packet.
+func (c *Calculator) Reset(d *lora.Demodulator, antennas [][]complex128, start, cfoCycles float64, numData int) {
 	p := d.Params()
-	dataOff := (lora.PreambleUpchirps + lora.SyncSymbols + float64(lora.DownchirpQuarters)/4) *
-		float64(p.SymbolSamples())
 	n := p.N()
 	slots := numData + preambleOffset
-	return &Calculator{
-		demod:     d,
-		antennas:  antennas,
-		start:     start,
-		cfoCycles: cfoCycles,
-		numData:   numData,
-		dataOff:   dataOff,
-		vecs:      make([][]float64, slots),
-		arena:     make([]float64, slots*n),
-		buf:       make([]complex128, n),
-		scratch:   make([]float64, n),
+	c.demod = d
+	c.antennas = antennas
+	c.start = start
+	c.cfoCycles = cfoCycles
+	c.numData = numData
+	c.dataOff = (lora.PreambleUpchirps + lora.SyncSymbols + float64(lora.DownchirpQuarters)/4) *
+		float64(p.SymbolSamples())
+	if cap(c.vecs) < slots {
+		c.vecs = make([][]float64, slots)
+	} else {
+		c.vecs = c.vecs[:slots]
+		for i := range c.vecs {
+			c.vecs[i] = nil
+		}
+	}
+	if cap(c.arena) < slots*n {
+		c.arena = make([]float64, slots*n)
+	} else {
+		c.arena = c.arena[:slots*n]
+	}
+	if len(c.buf) != n {
+		c.buf = make([]complex128, n)
+		c.scratch = make([]float64, n)
 	}
 }
 
@@ -149,10 +175,17 @@ func (c *Calculator) SigVec(idx int) []float64 {
 	return y
 }
 
+// prefillBatchRows is the number of symbols whose FFTs share one batched
+// twiddle sweep during prefill (the same batch depth the preamble scan uses).
+const prefillBatchRows = 8
+
 // Prefill computes every signal vector (preamble and data) that is not yet
 // cached, fanning out across workers (parallel.Workers semantics; <= 1 runs
-// inline). Each worker gets its own scratch, so prefilled calculators are
-// safe for any number of concurrent SigVec/ValueAt readers afterwards.
+// inline). Symbols are processed in batches of prefillBatchRows whose FFTs
+// run as one dsp.ForwardMagBatch twiddle sweep — bit-identical per symbol to
+// the lazy SigVec path. Each worker gets its own stacked scratch, so
+// prefilled calculators are safe for any number of concurrent SigVec/ValueAt
+// readers afterwards.
 func (c *Calculator) Prefill(workers int) {
 	var missing []int
 	for s, y := range c.vecs {
@@ -164,25 +197,60 @@ func (c *Calculator) Prefill(workers int) {
 		return
 	}
 	n := c.demod.Params().N()
+	batches := (len(missing) + prefillBatchRows - 1) / prefillBatchRows
 	workers = parallel.Workers(workers)
-	if workers > len(missing) {
-		workers = len(missing)
+	if workers > batches {
+		workers = batches
 	}
 	type ws struct {
-		buf     []complex128
-		scratch []float64
+		xb []complex128
+		yb []float64
+	}
+	if cap(c.batchBuf) < prefillBatchRows*n {
+		c.batchBuf = make([]complex128, prefillBatchRows*n)
+		c.batchY = make([]float64, prefillBatchRows*n)
 	}
 	scratches := make([]ws, workers)
-	scratches[0] = ws{buf: c.buf, scratch: c.scratch}
+	scratches[0] = ws{xb: c.batchBuf[:prefillBatchRows*n], yb: c.batchY[:prefillBatchRows*n]}
 	for w := 1; w < workers; w++ {
-		scratches[w] = ws{buf: make([]complex128, n), scratch: make([]float64, n)}
+		scratches[w] = ws{xb: make([]complex128, prefillBatchRows*n), yb: make([]float64, prefillBatchRows*n)}
 	}
-	parallel.ForEach(workers, len(missing), func(w, i int) {
-		idx := missing[i]
-		y := c.slot(idx)
-		c.computeInto(y, scratches[w].buf, scratches[w].scratch, idx)
-		c.vecs[idx+preambleOffset] = y
+	parallel.ForEach(workers, batches, func(w, b int) {
+		chunk := missing[b*prefillBatchRows : min((b+1)*prefillBatchRows, len(missing))]
+		c.prefillChunk(chunk, scratches[w].xb, scratches[w].yb)
 	})
+}
+
+// prefillChunk fills the arena slots of the given symbol indices: per
+// antenna, every symbol is dechirped into its stacked row and the whole
+// stack runs through one batched magnitude FFT, accumulated per antenna in
+// the same order as computeInto — so each vector is bit-identical to the
+// per-symbol path.
+func (c *Calculator) prefillChunk(idxs []int, xb []complex128, yb []float64) {
+	n := c.demod.Params().N()
+	rows := len(idxs)
+	for _, idx := range idxs {
+		y := c.slot(idx)
+		for i := range y {
+			y[i] = 0
+		}
+	}
+	for _, ant := range c.antennas {
+		for r, idx := range idxs {
+			c.demod.DechirpInto(xb[r*n:(r+1)*n], ant, c.symStart(idx), c.cfoCycles, idx)
+		}
+		c.demod.ForwardMagBatch(yb[:rows*n], xb[:rows*n], rows)
+		for r, idx := range idxs {
+			y := c.slot(idx)
+			row := yb[r*n : (r+1)*n]
+			for i := range y {
+				y[i] += row[i]
+			}
+		}
+	}
+	for _, idx := range idxs {
+		c.vecs[idx+preambleOffset] = c.slot(idx)
+	}
 }
 
 // PrefillPreamble computes only the preamble and sync signal vectors — the
@@ -243,7 +311,7 @@ func maxOf(y []float64) (int, float64) {
 func MaskPeak(y []float64, pos float64) {
 	n := len(y)
 	b := wrapBin(pos, n)
-	for _, d := range []int{-1, 0, 1} {
+	for _, d := range [3]int{-1, 0, 1} {
 		y[(b+d+n)%n] = 0
 	}
 }

@@ -1,0 +1,67 @@
+package stats
+
+import "math"
+
+// Selector computes exact medians over float64 slices without modifying the
+// input and without steady-state allocations. It exists for the hot loops in
+// Thrive's checking points and the detection scan, which previously paid an
+// allocation (and a full sort) per Median / MedianAbsResiduals call: the
+// Selector copies the values into an internal scratch buffer that grows to
+// the largest input seen and is reused, then runs the branch-predictable
+// distribute selection (selectPair) over it.
+//
+// The result is bit-identical to Percentile(x, 50) for any NaN-free input
+// (for signed zeros the result can differ in the sign of zero only, never in
+// value), so callers can swap it in without perturbing results. A Selector
+// is not safe for concurrent use.
+type Selector struct {
+	scratch []float64
+}
+
+// grow returns the scratch buffer resized to 2n (working copy plus
+// distribute target).
+func (s *Selector) grow(n int) []float64 {
+	if cap(s.scratch) < 2*n {
+		s.scratch = make([]float64, 2*n)
+	}
+	return s.scratch[:2*n]
+}
+
+// median selects the median over buf[:n], with buf[n:2n] as the distribute
+// target, mirroring Percentile(50)'s interpolation bit for bit.
+func median(buf []float64, n int) float64 {
+	i := (n - 1) / 2
+	frac := 0.5 * float64((n-1)%2)
+	kth, next := selectPair(buf[:n], buf[n:], i)
+	if i+1 >= n {
+		return kth
+	}
+	return kth*(1-frac) + next*frac
+}
+
+// Median returns the median of x — bit-identical to Percentile(x, 50) for
+// NaN-free input (see the type comment for the ±0 caveat) — without
+// modifying x and without steady-state allocations.
+func (s *Selector) Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	buf := s.grow(len(x))
+	copy(buf, x)
+	return median(buf, len(x))
+}
+
+// MedianAbsResiduals returns the median of |x[i] - fit[i]| over the common
+// prefix of x and fit — the same value as stats.MedianAbsResiduals — with
+// no steady-state allocations.
+func (s *Selector) MedianAbsResiduals(x, fit []float64) float64 {
+	n := min(len(x), len(fit))
+	if n == 0 {
+		return 0
+	}
+	buf := s.grow(n)
+	for i := 0; i < n; i++ {
+		buf[i] = math.Abs(x[i] - fit[i])
+	}
+	return median(buf, n)
+}

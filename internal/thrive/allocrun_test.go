@@ -1,0 +1,41 @@
+package thrive
+
+import (
+	"testing"
+
+	"tnb/internal/lora"
+)
+
+// resetStates rewinds packet states to their pre-assignment condition so
+// Engine.Run re-does the full assignment over the same calculators.
+func resetStates(states []*PacketState) {
+	for _, ps := range states {
+		for i := range ps.Assigned {
+			ps.Assigned[i] = -1
+			ps.Alternates[i] = -1
+			ps.Heights[i] = 0
+		}
+	}
+}
+
+// TestEngineRunSteadyStateAllocs pins the engine's pool contract: once the
+// first Run has sized the symbol pool and scratch buffers, re-running the
+// full assignment allocates nothing.
+func TestEngineRunSteadyStateAllocs(t *testing.T) {
+	p := lora.MustParams(8, 4, 125e3, 8)
+	sym := float64(p.SymbolSamples())
+	states, _, tl := buildScenario(t, 77, p, []spec{
+		{start: 20000.3, snr: 12, cfo: 1500},
+		{start: 20000.3 + 10.4*sym, snr: 8, cfo: -2600},
+		{start: 20000.3 + 21.7*sym, snr: 10, cfo: 3100},
+	})
+	e := NewEngine(p, DefaultConfig())
+	e.Run(states, tl) // sizes the pool and every grow-once buffer
+	allocs := testing.AllocsPerRun(5, func() {
+		resetStates(states)
+		e.Run(states, tl)
+	})
+	if allocs != 0 {
+		t.Fatalf("Engine.Run allocates %v/op in steady state, want 0", allocs)
+	}
+}

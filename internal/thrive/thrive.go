@@ -100,10 +100,20 @@ func NewPacketState(id int, calc *peaks.Calculator) *PacketState {
 	return ps
 }
 
-// Engine runs peak assignment over a trace.
+// Engine runs peak assignment over a trace. It owns per-checking-point
+// scratch (a symbol pool, history buffers, and a median selector) that grows
+// to the densest checking point seen and is reused, so Run performs no
+// steady-state allocations; an Engine is therefore not safe for concurrent
+// use, matching the serial greedy assignment it implements.
 type Engine struct {
 	cfg Config
 	p   lora.Params
+
+	pool []*symbol // pooled symbol slots, grow-once
+	syms []*symbol // symbols of the current checking point, reused
+	sel  stats.Selector
+	hist []float64 // observed-heights scratch for the history fit
+	fit  []float64 // moving-average scratch for the history fit
 }
 
 // NewEngine builds an engine; zero-value config fields fall back to the
@@ -122,7 +132,9 @@ func NewEngine(p lora.Params, cfg Config) *Engine {
 	return &Engine{cfg: cfg, p: p}
 }
 
-// symbol is one data symbol intersecting the current checking point.
+// symbol is one data symbol intersecting the current checking point. Symbols
+// live in the engine's pool: every slice field keeps its capacity across
+// checking points and is re-sliced rather than reallocated.
 type symbol struct {
 	pkt   *PacketState
 	idx   int
@@ -130,10 +142,11 @@ type symbol struct {
 	y     []float64 // masked working copy of the signal vector
 	ps    []peaks.Peak
 	costs []float64
-	// sibCosts/histCosts keep the per-peak cost split for tracing;
-	// allocated only when the packet carries a trace.
+	// sibCosts/histCosts keep the per-peak cost split for tracing; they are
+	// filled only when traced is set (the packet carries a trace).
 	sibCosts  []float64
 	histCosts []float64
+	traced    bool
 	alive     bool
 }
 
@@ -167,8 +180,11 @@ func (e *Engine) runCheckingPoint(pkts []*PacketState, cp float64) {
 	symSamples := e.p.SymbolSamples()
 	n := e.p.N()
 
-	// Collect the unknown symbols intersecting this checking point.
-	var syms []*symbol
+	// Collect the unknown symbols intersecting this checking point into
+	// pooled slots: the pool grows to the densest checking point and the
+	// per-slot buffers keep their capacity, so a steady-state call copies
+	// the signal vectors without allocating.
+	e.syms = e.syms[:0]
 	for _, ps := range pkts {
 		if ps.Known {
 			continue
@@ -177,14 +193,24 @@ func (e *Engine) runCheckingPoint(pkts []*PacketState, cp float64) {
 		if idx < 0 || ps.Assigned[idx] >= 0 {
 			continue
 		}
-		src := ps.Calc.SigVec(idx)
-		y := append([]float64(nil), src...)
-		syms = append(syms, &symbol{
-			pkt: ps, idx: idx,
-			start: ps.Calc.SymbolStart(idx),
-			y:     y, alive: true,
-		})
+		var s *symbol
+		if len(e.syms) < len(e.pool) {
+			s = e.pool[len(e.syms)]
+		} else {
+			s = &symbol{}
+			e.pool = append(e.pool, s)
+		}
+		s.pkt, s.idx = ps, idx
+		s.start = ps.Calc.SymbolStart(idx)
+		s.y = append(s.y[:0], ps.Calc.SigVec(idx)...)
+		s.ps = s.ps[:0]
+		s.costs = s.costs[:0]
+		s.sibCosts, s.histCosts = s.sibCosts[:0], s.histCosts[:0]
+		s.traced = false
+		s.alive = true
+		e.syms = append(e.syms, s)
 	}
+	syms := e.syms
 	if len(syms) == 0 {
 		return
 	}
@@ -206,7 +232,7 @@ func (e *Engine) runCheckingPoint(pkts []*PacketState, cp float64) {
 	// peak range, so a weak node's peak survives next to a 20 dB stronger
 	// collider; the 2M cap bounds the list.
 	for _, s := range syms {
-		s.ps = peaks.Find(s.y, 6*stats.Median(s.y), 2*m)
+		s.ps = peaks.FindInto(s.ps, s.y, 6*e.sel.Median(s.y), 2*m)
 	}
 
 	if e.cfg.Policy == PolicyAlignTrack {
@@ -216,22 +242,24 @@ func (e *Engine) runCheckingPoint(pkts []*PacketState, cp float64) {
 
 	// Matching costs.
 	for _, s := range syms {
-		s.costs = make([]float64, len(s.ps))
+		s.costs = growFloats(s.costs, len(s.ps))
 		if s.pkt.Trace != nil {
-			s.sibCosts = make([]float64, len(s.ps))
-			s.histCosts = make([]float64, len(s.ps))
+			s.traced = true
+			s.sibCosts = growFloats(s.sibCosts, len(s.ps))
+			s.histCosts = growFloats(s.histCosts, len(s.ps))
 		}
-		var hist *historyFit
+		var hist historyFit
+		haveHist := false
 		if e.cfg.Policy == PolicyThrive {
-			hist = e.fitHistory(s.pkt, s.idx)
+			hist, haveHist = e.fitHistory(s.pkt, s.idx)
 		}
 		for pi, pk := range s.ps {
 			sc := e.siblingCost(s, pk, syms, n)
 			hc := 0.0
-			if hist != nil {
-				hc = e.historyCost(hist, pk.Height)
+			if haveHist {
+				hc = e.historyCost(&hist, pk.Height)
 			}
-			if s.sibCosts != nil {
+			if s.traced {
 				s.sibCosts[pi] = sc
 				s.histCosts[pi] = hc
 			}
@@ -263,7 +291,14 @@ var fallbackDecision = obs.SymbolDecision{Alt: -1, Margin: -1, Fallback: true}
 // maskKnownInto removes peaks of a known source (preamble of any packet, or
 // all symbols of a decoded packet) from the target symbol's working vector.
 func (e *Engine) maskKnownInto(target *symbol, src *PacketState, symSamples, n int) {
-	for _, j := range overlappingIndices(src, target.start, symSamples) {
+	// The target symbol overlaps at most two of src's (possibly preamble)
+	// symbols, j0 and j0+1.
+	s0 := src.Calc.SymbolStart(0)
+	j0 := int(math.Floor((target.start - s0) / float64(symSamples)))
+	for _, j := range [2]int{j0, j0 + 1} {
+		if !src.Calc.InRange(j) {
+			continue
+		}
 		bin, ok := knownBin(src, j)
 		if !ok {
 			continue
@@ -278,18 +313,14 @@ func (e *Engine) maskKnownInto(target *symbol, src *PacketState, symSamples, n i
 	}
 }
 
-// overlappingIndices returns the (possibly preamble) symbol indices of pkt
-// that overlap the symbol starting at start.
-func overlappingIndices(pkt *PacketState, start float64, symSamples int) []int {
-	s0 := pkt.Calc.SymbolStart(0)
-	j0 := int(math.Floor((start - s0) / float64(symSamples)))
-	var out []int
-	for _, j := range []int{j0, j0 + 1} {
-		if pkt.Calc.InRange(j) {
-			out = append(out, j)
-		}
+// growFloats returns s resized to length n, reusing its backing array when
+// the capacity suffices. The contents are unspecified; callers overwrite
+// every element.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	return out
+	return s[:n]
 }
 
 // knownBin returns the known peak bin of packet symbol j: preamble upchirps
@@ -356,7 +387,7 @@ func (e *Engine) siblingCost(s *symbol, pk peaks.Peak, syms []*symbol, n int) fl
 		// The same transmitted peak also lands in the neighbor symbols of
 		// the other packet; approximate their view with the raw vector
 		// value at the expected position.
-		for _, dj := range []int{-1, 1} {
+		for _, dj := range [2]int{-1, 1} {
 			j := os.idx + dj
 			if !os.pkt.Calc.InRange(j) {
 				continue
@@ -380,20 +411,24 @@ type historyFit struct {
 
 // fitHistory estimates the expected peak height A and deviation D for the
 // packet's symbol idx from the smoothed history of observed heights
-// (preamble peaks plus assigned data peaks; paper §5.3.3 and Fig. 6).
-func (e *Engine) fitHistory(ps *PacketState, idx int) *historyFit {
-	var h []float64
+// (preamble peaks plus assigned data peaks; paper §5.3.3 and Fig. 6). The
+// boolean is false when the packet has no history yet. The history and fit
+// live in engine scratch, valid until the next fitHistory call.
+func (e *Engine) fitHistory(ps *PacketState, idx int) (historyFit, bool) {
+	h := e.hist[:0]
 	if ps.PriorHeights != nil {
 		// Second pass: fit over the full prior observation and read the
 		// fitted value at the symbol itself.
 		h = append(h, ps.historySeed...)
 		h = append(h, ps.PriorHeights...)
-		fit := stats.MovingAverage(h, e.cfg.SmoothWindow)
+		e.hist = h
+		e.fit = stats.MovingAverageInto(e.fit, h, e.cfg.SmoothWindow)
+		fit := e.fit
 		at := len(ps.historySeed) + idx
 		if at >= len(fit) {
 			at = len(fit) - 1
 		}
-		return &historyFit{a: fit[at], d: stats.MedianAbsResiduals(h, fit)}
+		return historyFit{a: fit[at], d: e.sel.MedianAbsResiduals(h, fit)}, true
 	}
 	h = append(h, ps.historySeed...)
 	for j := 0; j < idx; j++ {
@@ -401,11 +436,13 @@ func (e *Engine) fitHistory(ps *PacketState, idx int) *historyFit {
 			h = append(h, ps.Heights[j])
 		}
 	}
+	e.hist = h
 	if len(h) == 0 {
-		return nil
+		return historyFit{}, false
 	}
-	fit := stats.MovingAverage(h, e.cfg.SmoothWindow)
-	return &historyFit{a: fit[len(fit)-1], d: stats.MedianAbsResiduals(h, fit)}
+	e.fit = stats.MovingAverageInto(e.fit, h, e.cfg.SmoothWindow)
+	fit := e.fit
+	return historyFit{a: fit[len(fit)-1], d: e.sel.MedianAbsResiduals(h, fit)}, true
 }
 
 // historyCost computes Eq. 2.
@@ -492,7 +529,7 @@ func (e *Engine) assignBest(sel *symbol, syms []*symbol, n int) {
 		return
 	}
 	d := obs.SymbolDecision{Alt: -1, Margin: -1, Cost: best}
-	if sel.sibCosts != nil {
+	if sel.traced {
 		d.SiblingCost = sel.sibCosts[bi]
 		d.HistoryCost = sel.histCosts[bi]
 	}
@@ -511,8 +548,10 @@ func (e *Engine) assignBest(sel *symbol, syms []*symbol, n int) {
 		if pos < 0 {
 			pos += float64(n)
 		}
+		// Filter in place: each kept element lands at an index already
+		// visited, so re-slicing from [:0] never clobbers a pending read.
 		filtered := os.ps[:0]
-		kept := make([]float64, 0, len(os.costs))
+		kept := os.costs[:0]
 		keptSib, keptHist := os.sibCosts[:0], os.histCosts[:0]
 		for pi, opk := range os.ps {
 			if circDist(float64(opk.Bin), pos, n) <= 1.5 {
@@ -520,13 +559,13 @@ func (e *Engine) assignBest(sel *symbol, syms []*symbol, n int) {
 			}
 			filtered = append(filtered, opk)
 			kept = append(kept, os.costs[pi])
-			if os.sibCosts != nil {
+			if os.traced {
 				keptSib = append(keptSib, os.sibCosts[pi])
 				keptHist = append(keptHist, os.histCosts[pi])
 			}
 		}
 		os.ps, os.costs = filtered, kept
-		if os.sibCosts != nil {
+		if os.traced {
 			os.sibCosts, os.histCosts = keptSib, keptHist
 		}
 		peaks.MaskPeak(os.y, pos)
@@ -553,7 +592,10 @@ func (e *Engine) finalize(s *symbol, bin int, height float64, d obs.SymbolDecisi
 // (the strongest is taken) — the failure mode paper §8.4 analyzes.
 func (e *Engine) assignAlignTrack(syms []*symbol, n int) {
 	for _, s := range syms {
-		var aligned []peaks.Peak
+		// Arbitrary choice among aligned peaks: the first qualifying one
+		// (peaks are sorted by height, so the strongest), tracked directly
+		// instead of collecting the full aligned list.
+		alignedBin, alignedHeight := -1, 0.0
 		for _, pk := range s.ps {
 			highest := true
 			for _, os := range syms {
@@ -566,14 +608,13 @@ func (e *Engine) assignAlignTrack(syms []*symbol, n int) {
 				}
 			}
 			if highest {
-				aligned = append(aligned, pk)
+				alignedBin, alignedHeight = pk.Bin, pk.Height
+				break
 			}
 		}
 		switch {
-		case len(aligned) > 0:
-			// Arbitrary choice among aligned peaks: take the first
-			// (peaks are sorted by height, so the strongest).
-			e.finalize(s, aligned[0].Bin, aligned[0].Height, obs.SymbolDecision{Alt: -1, Margin: -1})
+		case alignedBin >= 0:
+			e.finalize(s, alignedBin, alignedHeight, obs.SymbolDecision{Alt: -1, Margin: -1})
 		case len(s.ps) > 0:
 			e.finalize(s, s.ps[0].Bin, s.ps[0].Height, obs.SymbolDecision{Alt: -1, Margin: -1})
 		default:

@@ -1,29 +1,88 @@
 #!/usr/bin/env bash
 # bench_pipeline.sh — measure the receiver pipeline across worker-pool widths
 # plus the dechirp/sigcalc kernel micro-benchmarks, and write
-# BENCH_pipeline.json (ns/op, allocs/op, bytes/op, samples/sec per variant)
-# for tracking the parallel-decode, allocation and kernel-fusion work.
+# BENCH_pipeline.json (ns/op, allocs/op, bytes/op, samples/sec and
+# samples/sec-per-core per variant, with the host's CPU count recorded per
+# variant so numbers from different hosts stay comparable) for tracking the
+# parallel-decode, allocation and kernel-fusion work.
 #
 # Usage: scripts/bench_pipeline.sh [benchtime] [output]
 #   benchtime  go test -benchtime value for the receiver bench (default 5x;
 #              kernel micro-benches always use time-based 200ms runs)
 #   output     JSON path (default BENCH_pipeline.json in the repo root)
+#
+#        scripts/bench_pipeline.sh check [benchtime] [baseline]
+#   Runs the same benchmarks into a temporary file, prints a benchstat-style
+#   delta table against the committed baseline (default BENCH_pipeline.json),
+#   and exits non-zero when the receiver `bare` variant or any kernel row
+#   (ScanPreambles, dechirp, FFT) regresses by more than 10% in ns/op.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "check" ]]; then
+    benchtime="${2:-5x}"
+    base="${3:-BENCH_pipeline.json}"
+    [[ -f "$base" ]] || { echo "baseline $base not found" >&2; exit 2; }
+    tmp=$(mktemp /tmp/bench_pipeline.XXXXXX.json)
+    trap 'rm -f "$tmp"' EXIT
+    bash scripts/bench_pipeline.sh "$benchtime" "$tmp"
+    echo "" >&2
+    # Benchstat-style comparison: section-qualified rows, ns/op old vs new.
+    # Gated rows (the receiver bare variant and every kernel row) fail the
+    # check beyond +10%; the rest are informational.
+    awk -v gate=10 '
+    FNR == 1 { fileno++ }
+    /^  "variants": \{/   { section = "variants"; next }
+    /^  "kernels": \{/    { section = "kernels"; next }
+    /^  "fleet": \{/      { section = "fleet"; next }
+    /^  "tracestore": \{/ { section = "tracestore"; next }
+    /^  \},?$/            { section = "" }
+    section != "" && /^    "/ {
+        name = $0; sub(/^ *"/, "", name); sub(/".*/, "", name)
+        ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+        key = section "/" name
+        if (fileno == 1) { old[key] = ns }
+        else if (!(key in new)) { new[key] = ns; order[n++] = key }
+    }
+    END {
+        printf "%-40s %15s %15s %9s\n", "name", "old ns/op", "new ns/op", "delta"
+        fail = 0
+        for (i = 0; i < n; i++) {
+            key = order[i]
+            if (!(key in old)) {
+                printf "%-40s %15s %15s %9s\n", key, "-", new[key], "new"
+                continue
+            }
+            delta = (new[key] - old[key]) / old[key] * 100
+            gated = (key == "variants/bare" || key ~ /^kernels\//)
+            mark = ""
+            if (gated && delta > gate) { mark = "  REGRESSION"; fail = 1 }
+            printf "%-40s %15s %15s %+8.2f%%%s\n", key, old[key], new[key], delta, mark
+        }
+        exit fail
+    }' "$base" "$tmp"
+    exit $?
+fi
+
 benchtime="${1:-5x}"
 out="${2:-BENCH_pipeline.json}"
 
-raw=$(go test -bench 'BenchmarkReceiver/' -benchtime "$benchtime" -run '^$' . )
+raw=$(go test -bench 'BenchmarkReceiver/' -benchtime "$benchtime" -count 3 -run '^$' . )
 echo "$raw" >&2
 
 # Kernel micro-benchmarks: the fused dechirp (vs the legacy 3-pass path), one
 # Q evaluation of the fractional sync search, and the preamble scan across
 # pool widths. Time-based benchtime keeps these stable regardless of the
-# iteration count passed for the (much slower) receiver bench.
-kraw=$(go test -bench 'BenchmarkDechirp$' -benchtime 200ms -run '^$' ./internal/lora
-       go test -bench 'BenchmarkEvalQ$|BenchmarkScanPreambles$' -benchtime 200ms -run '^$' ./internal/detect
-       go test -bench 'BenchmarkDechirpKernel$|BenchmarkForwardMag256$' -benchtime 200ms -run '^$' ./internal/dsp)
+# iteration count passed for the (much slower) receiver bench; -count with
+# per-row minimum (taken in the awk below) is the honest estimator on a
+# steal-prone shared host, where single runs swing far more than the
+# differences being tracked. ScanPreambles gets the deepest repeat count:
+# its iterations are ms-scale (few per 200ms window), so its single-run
+# variance is the largest of the gated rows.
+kraw=$(go test -bench 'BenchmarkDechirp$' -benchtime 200ms -count 5 -run '^$' ./internal/lora
+       go test -bench 'BenchmarkEvalQ$|BenchmarkScanPreambles$' -benchtime 200ms -count 15 -run '^$' ./internal/detect
+       go test -bench 'BenchmarkDechirpKernel$|BenchmarkForwardMag256$|BenchmarkForwardMagBatch$' -benchtime 200ms -count 5 -run '^$' ./internal/dsp)
 echo "$kraw" >&2
 
 # Network-server ingest across verification widths: the mixed join/dedup/
@@ -43,6 +102,7 @@ echo "$traw" >&2
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    sub(/#[0-9]+$/, "", name)          # collapse go test dup suffixes (workers=1#01)
     ns = ""; allocs = ""; bytes = ""; sps = ""; pps = ""; dbytes = ""; rps = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i-1)
@@ -61,14 +121,19 @@ echo "$traw" >&2
         TNS[name] = ns; TRS[name] = rps
     } else if (!kernels && !fleet && name ~ /^BenchmarkReceiver\//) {
         sub(/^BenchmarkReceiver\//, "", name)
-        if (seen[name]++) next         # keep the first run of a repeated name
-        order[n++] = name
+        # Keep the lowest-ns run of a repeated name (-count repeats and the
+        # occasional #NN duplicate alike): the least steal-time-contaminated
+        # observation, with its own allocs/bytes/samples so the row stays
+        # internally consistent.
+        if (!(name in NS)) order[n++] = name
+        else if (ns + 0 >= NS[name] + 0) next
         NS[name] = ns; AL[name] = allocs; BY[name] = bytes; SPS[name] = sps
     } else if (kernels) {
         sub(/^Benchmark/, "", name)
-        if (kseen[name]++) next
-        korder[kn++] = name
-        KNS[name] = ns
+        # Minimum across the -count repeats: the lowest observation is the
+        # least steal-time-contaminated one.
+        if (!(name in KNS)) { korder[kn++] = name; KNS[name] = ns }
+        else if (ns + 0 < KNS[name] + 0) KNS[name] = ns
     } else if (fleet && name ~ /^BenchmarkNetserverIngest\//) {
         sub(/^BenchmarkNetserverIngest\//, "", name)
         if (fseen[name]++) next
@@ -90,11 +155,15 @@ END {
     # fused dechirp / ForwardMag / rotator work is measured against. The
     # acceptance bar for the kernel PR is >= 25% ns_per_op improvement.
     printf "  \"pre_kernel_baseline\": {\"commit\": \"91d79bc\", \"ns_per_op\": 152130196, \"allocs_per_op\": 24103, \"bytes_per_op\": 6922685},\n"
+    # Pre-scan-batching reference (commit 7d35456, bare variant): what the
+    # incremental scan, batched FFTs and pooled decode loop are measured
+    # against (ScanPreambles/workers=1 was 7574909 ns).
+    printf "  \"pre_batch_baseline\": {\"commit\": \"7d35456\", \"ns_per_op\": 139213417, \"allocs_per_op\": 19293, \"bytes_per_op\": 6738976, \"scan_ns_per_op\": 7574909},\n"
     printf "  \"variants\": {\n"
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"samples_per_sec\": %s}%s\n", \
-            name, NS[name], AL[name], BY[name], SPS[name], (i < n-1 ? "," : "")
+        printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"samples_per_sec\": %s, \"host_cpus\": %d, \"samples_per_sec_per_core\": %.0f}%s\n", \
+            name, NS[name], AL[name], BY[name], SPS[name], ncpu, SPS[name] / ncpu, (i < n-1 ? "," : "")
     }
     printf "  },\n"
     printf "  \"kernels\": {\n"
