@@ -70,6 +70,7 @@ func main() {
 	phy := flag.Bool("phy", false, "render the data phase to IQ and decode it through a real loopback gateway per simulated gateway")
 	osf := flag.Int("osf", 2, "PHY oversampling factor")
 	workers := flag.Int("workers", 1, "verification/decode worker width (0 = all cores); output is identical for every value")
+	shards := flag.Int("shards", 0, "netserver state-shard count (0 = default); output is identical for every value")
 	batch := flag.Int("batch", fleet.DefaultBatch, "uplinks per netserver Ingest call")
 	dedupWindow := flag.Float64("dedup-window", netserver.DefaultDedupWindowSec, "cross-gateway dedup window, seconds")
 	quotaRate := flag.Float64("quota-rate", 0, "per-tenant delivery quota, deliveries/sec (0 = unlimited)")
@@ -89,7 +90,7 @@ func main() {
 		seed: *seed, nodes: *nodes, gateways: *gateways,
 		channels: *channels, sfs: *sfs, packets: *packets,
 		duration: *duration, corrupt: *corrupt,
-		phy: *phy, osf: *osf, workers: *workers, batch: *batch,
+		phy: *phy, osf: *osf, workers: *workers, shards: *shards, batch: *batch,
 		dedupWindow: *dedupWindow, quotaRate: *quotaRate, quotaBurst: *quotaBurst,
 		metricsAddr: *metricsAddr, summary: *summary, traceStore: *traceStore,
 	}); err != nil {
@@ -106,7 +107,7 @@ type config struct {
 	duration                           float64
 	corrupt                            int
 	phy                                bool
-	osf, workers, batch                int
+	osf, workers, shards, batch        int
 	dedupWindow, quotaRate, quotaBurst float64
 	metricsAddr, summary, traceStore   string
 }
@@ -155,6 +156,7 @@ func run(log *slog.Logger, cfg config) error {
 	nsCfg := netserver.Config{
 		DedupWindowSec: cfg.dedupWindow,
 		Workers:        cfg.workers,
+		Shards:         cfg.shards,
 		Devices:        f.Devices(),
 		Tracer:         tracer,
 	}
@@ -413,18 +415,7 @@ func decodeGroup(f *fleet.Fleet, srv *gwServer, k groupKey, ups []netserver.Upli
 	if err != nil {
 		return nil, err
 	}
-	out := make([]netserver.Uplink, 0, len(reports))
-	for _, r := range reports {
-		out = append(out, netserver.Uplink{
-			GatewayID: k.gw,
-			Channel:   r.Channel,
-			SF:        k.sf,
-			TimeSec:   t0 + r.AbsStart/p.SampleRate(),
-			SNRdB:     r.SNRdB,
-			Payload:   r.Payload,
-		})
-	}
-	return out, nil
+	return gateway.Uplinks(make([]netserver.Uplink, 0, len(reports)), reports, k.gw, k.sf, t0, p.SampleRate()), nil
 }
 
 // parseIntList parses "1,3,8" into ints.

@@ -41,6 +41,12 @@ func goldenFleet() (Config, netserver.Config) {
 // the event stream as JSON lines plus the run report.
 func runGolden(t *testing.T, workers, batch int) ([]byte, Report) {
 	t.Helper()
+	return runGoldenSharded(t, workers, batch, 0)
+}
+
+// runGoldenSharded additionally pins the netserver's state-shard count.
+func runGoldenSharded(t *testing.T, workers, batch, shards int) ([]byte, Report) {
+	t.Helper()
 	fc, nc := goldenFleet()
 	f, err := New(fc)
 	if err != nil {
@@ -48,6 +54,7 @@ func runGolden(t *testing.T, workers, batch int) ([]byte, Report) {
 	}
 	nc.Devices = f.Devices()
 	nc.Workers = workers
+	nc.Shards = shards
 	ns, err := netserver.New(nc)
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +112,27 @@ func TestFleetGolden(t *testing.T) {
 			}
 			if rep.Activated < 6 {
 				t.Errorf("workers=%d: only %d/8 nodes joined", workers, rep.Activated)
+			}
+		}
+	}
+}
+
+// TestFleetGoldenAcrossShards pins the sharded-ingest determinism contract:
+// the committed event stream is byte-identical at every state-shard count ×
+// worker width combination. Any ordering leak in the per-shard commit or
+// the cross-shard merge fails here first.
+func TestFleetGoldenAcrossShards(t *testing.T) {
+	wantPath := filepath.Join("testdata", "golden", "fleet_seed4242.jsonl")
+	want, err := os.ReadFile(wantPath)
+	if err != nil {
+		t.Fatalf("%v (run TestFleetGolden with -update to regenerate)", err)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 2, 4} {
+			got, _ := runGoldenSharded(t, workers, 0, shards)
+			if !bytes.Equal(got, want) {
+				t.Errorf("shards=%d workers=%d: event stream drifted from %s\ngot %d bytes, want %d",
+					shards, workers, wantPath, len(got), len(want))
 			}
 		}
 	}

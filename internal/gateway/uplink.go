@@ -1,0 +1,25 @@
+package gateway
+
+import "tnb/internal/netserver"
+
+// Uplinks is the shard → netserver hand-off: it converts one (gateway,
+// channel, SF) shard's decoded reports into the netserver's ingest shape.
+// AbsStart is rebased from samples to seconds against the shard's capture
+// origin t0; the SF comes from the hello (reports do not echo it) and the
+// channel from the report itself, so a consumer can funnel every shard of
+// every gateway into a single Ingest stream and still satisfy the
+// netserver's DevEUI-sharded routing. Appends to dst and returns it, so a
+// caller merging many shards reuses one slice.
+func Uplinks(dst []netserver.Uplink, reports []Report, gatewayID string, sf int, t0, sampleRate float64) []netserver.Uplink {
+	for _, r := range reports {
+		dst = append(dst, netserver.Uplink{
+			GatewayID: gatewayID,
+			Channel:   r.Channel,
+			SF:        sf,
+			TimeSec:   t0 + r.AbsStart/sampleRate,
+			SNRdB:     r.SNRdB,
+			Payload:   r.Payload,
+		})
+	}
+	return dst
+}

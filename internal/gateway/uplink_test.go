@@ -1,0 +1,32 @@
+package gateway
+
+import (
+	"testing"
+
+	"tnb/internal/netserver"
+)
+
+// TestUplinksHandoff: the report → netserver adapter rebases time against
+// the shard origin, carries the hello's SF, and appends into the caller's
+// slice.
+func TestUplinksHandoff(t *testing.T) {
+	reports := []Report{
+		{Payload: []byte{1, 2}, Channel: 3, AbsStart: 125e3, SNRdB: -4},
+		{Payload: []byte{9}, Channel: 3, AbsStart: 250e3, SNRdB: 2},
+	}
+	dst := make([]netserver.Uplink, 0, 2)
+	got := Uplinks(dst, reports, "gw-7", 8, 10.0, 125e3)
+	if len(got) != 2 {
+		t.Fatalf("got %d uplinks, want 2", len(got))
+	}
+	u := got[0]
+	if u.GatewayID != "gw-7" || u.Channel != 3 || u.SF != 8 || u.SNRdB != -4 {
+		t.Errorf("identity fields wrong: %+v", u)
+	}
+	if u.TimeSec != 11.0 || got[1].TimeSec != 12.0 {
+		t.Errorf("time rebase wrong: %v, %v", u.TimeSec, got[1].TimeSec)
+	}
+	if string(u.Payload) != string(reports[0].Payload) {
+		t.Errorf("payload not carried through")
+	}
+}

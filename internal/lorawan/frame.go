@@ -1,7 +1,6 @@
 package lorawan
 
 import (
-	"crypto/aes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -42,8 +41,17 @@ func (m MType) IsUplink() bool {
 // DevAddr is the 32-bit device address.
 type DevAddr uint32
 
-// String formats the address in the conventional hex form.
-func (a DevAddr) String() string { return fmt.Sprintf("%08X", uint32(a)) }
+// String renders the address as 8 upper-case hex digits (the "%08X"
+// form), hand-rolled for the same reason as EUI.String.
+func (a DevAddr) String() string {
+	var b [8]byte
+	v := uint32(a)
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = upperhex[v&0xF]
+		v >>= 4
+	}
+	return string(b[:])
+}
 
 // FCtrl is the frame control octet.
 type FCtrl struct {
@@ -186,10 +194,12 @@ func ParseDataFrame(wire, nwkSKey, appSKey []byte) (*DataFrame, error) {
 	return f, nil
 }
 
-// computeMIC builds the LoRaWAN B0 block and returns the first 4 bytes of
-// the CMAC over B0 || msg.
-func computeMIC(nwkSKey []byte, addr DevAddr, fcnt uint32, uplink bool, msg []byte) ([]byte, error) {
-	b0 := make([]byte, blockSize, blockSize+len(msg))
+// MIC computes the 4-byte LoRaWAN data-frame MIC under a cached NwkSKey:
+// the first 4 bytes of the CMAC over the B0 block and msg, concatenated
+// logically (never materialized). Zero allocations.
+func (kc *KeyCipher) MIC(st *Scratch, addr DevAddr, fcnt uint32, uplink bool, msg []byte) [micLen]byte {
+	b0 := &st.b0
+	*b0 = [blockSize]byte{}
 	b0[0] = 0x49
 	if !uplink {
 		b0[5] = 1
@@ -197,34 +207,113 @@ func computeMIC(nwkSKey []byte, addr DevAddr, fcnt uint32, uplink bool, msg []by
 	binary.LittleEndian.PutUint32(b0[6:10], uint32(addr))
 	binary.LittleEndian.PutUint32(b0[10:14], fcnt)
 	b0[15] = uint8(len(msg))
-	mac, err := CMAC(nwkSKey, append(b0, msg...))
-	if err != nil {
-		return nil, err
-	}
-	return mac[:micLen], nil
+	mac := kc.MAC(st, b0[:], msg)
+	var mic [micLen]byte
+	copy(mic[:], mac[:micLen])
+	return mic
 }
 
-// cryptPayload applies the LoRaWAN counter-mode cipher (spec §4.3.3); it is
-// its own inverse.
-func cryptPayload(appSKey []byte, addr DevAddr, fcnt uint32, uplink bool, data []byte) ([]byte, error) {
-	block, err := aes.NewCipher(appSKey)
-	if err != nil {
-		return nil, fmt.Errorf("lorawan: %w", err)
-	}
-	out := make([]byte, len(data))
-	var a, s [blockSize]byte
+// VerifyDataMIC checks a whole data-frame wire image (body || 4-byte MIC)
+// against a cached NwkSKey in constant time, allocating nothing. The
+// caller has already checked len(wire) > micLen.
+func (kc *KeyCipher) VerifyDataMIC(st *Scratch, addr DevAddr, fcnt uint32, uplink bool, wire []byte) bool {
+	body := wire[:len(wire)-micLen]
+	want := kc.MIC(st, addr, fcnt, uplink, body)
+	return constantTimeEqual(wire[len(wire)-micLen:], want[:])
+}
+
+// CryptPayload applies the LoRaWAN counter-mode cipher (spec §4.3.3) under
+// a cached AppSKey, appending the result to dst (which may be nil) and
+// returning the extended slice. The cipher is its own inverse, so the same
+// call encrypts and decrypts.
+func (kc *KeyCipher) CryptPayload(st *Scratch, dst []byte, addr DevAddr, fcnt uint32, uplink bool, data []byte) []byte {
+	base := len(dst)
+	dst = append(dst, data...)
+	out := dst[base:]
+	a, s := &st.b0, &st.ks
+	*a = [blockSize]byte{}
 	a[0] = 0x01
 	if !uplink {
 		a[5] = 1
 	}
 	binary.LittleEndian.PutUint32(a[6:10], uint32(addr))
 	binary.LittleEndian.PutUint32(a[10:14], fcnt)
-	for i := 0; i < len(data); i += blockSize {
+	for i := 0; i < len(out); i += blockSize {
 		a[15] = uint8(i/blockSize + 1)
-		block.Encrypt(s[:], a[:])
-		for j := 0; j < blockSize && i+j < len(data); j++ {
-			out[i+j] = data[i+j] ^ s[j]
+		kc.block.Encrypt(s[:], a[:])
+		for j := 0; j < blockSize && i+j < len(out); j++ {
+			out[i+j] ^= s[j]
 		}
 	}
-	return out, nil
+	return dst
+}
+
+// computeMIC builds the LoRaWAN B0 block and returns the first 4 bytes of
+// the CMAC over B0 || msg.
+func computeMIC(nwkSKey []byte, addr DevAddr, fcnt uint32, uplink bool, msg []byte) ([]byte, error) {
+	kc, err := NewKeyCipher(nwkSKey)
+	if err != nil {
+		return nil, err
+	}
+	var st Scratch
+	mic := kc.MIC(&st, addr, fcnt, uplink, msg)
+	return mic[:], nil
+}
+
+// cryptPayload applies the LoRaWAN counter-mode cipher (spec §4.3.3); it is
+// its own inverse.
+func cryptPayload(appSKey []byte, addr DevAddr, fcnt uint32, uplink bool, data []byte) ([]byte, error) {
+	kc, err := NewKeyCipher(appSKey)
+	if err != nil {
+		return nil, err
+	}
+	var st Scratch
+	return kc.CryptPayload(&st, nil, addr, fcnt, uplink, data), nil
+}
+
+// DataHeader is the fixed prefix of a data frame, extracted without
+// verification, decryption or allocation: what an ingest pipeline needs to
+// route the frame (session lookup, dedup key) before it spends crypto on
+// it. HasPort additionally reports whether an FPort octet (and therefore a
+// payload) is present; PayloadOff is the wire offset of the encrypted
+// FRMPayload when it is.
+type DataHeader struct {
+	MType      MType
+	DevAddr    DevAddr
+	FCtrl      FCtrl
+	FCnt       uint16
+	FPort      uint8
+	HasPort    bool
+	PayloadOff int
+}
+
+// ParseDataHeader extracts the routing header of a data frame, reporting
+// false for anything too short, of the wrong MType, or whose FOptsLen
+// overruns the body. It performs no MIC check — callers verify with
+// KeyCipher.VerifyDataMIC once the session key is known.
+func ParseDataHeader(wire []byte) (DataHeader, bool) {
+	var h DataHeader
+	if len(wire) < 1+7+micLen {
+		return h, false
+	}
+	h.MType = MType(wire[0] >> 5)
+	switch h.MType {
+	case UnconfirmedDataUp, UnconfirmedDataDown, ConfirmedDataUp, ConfirmedDataDown:
+	default:
+		return h, false
+	}
+	body := wire[:len(wire)-micLen]
+	h.DevAddr = DevAddr(binary.LittleEndian.Uint32(wire[1:5]))
+	h.FCtrl = fctrlFrom(wire[5])
+	h.FCnt = binary.LittleEndian.Uint16(wire[6:8])
+	off := 8 + int(h.FCtrl.FOptsLen)
+	if off > len(body) {
+		return h, false
+	}
+	if off < len(body) {
+		h.HasPort = true
+		h.FPort = body[off]
+		h.PayloadOff = off + 1
+	}
+	return h, true
 }

@@ -1,7 +1,6 @@
 package lorawan
 
 import (
-	"crypto/aes"
 	"encoding/binary"
 	"fmt"
 )
@@ -12,8 +11,20 @@ import (
 // EUI is a 64-bit extended unique identifier.
 type EUI uint64
 
-// String formats the EUI as 16 hex digits.
-func (e EUI) String() string { return fmt.Sprintf("%016X", uint64(e)) }
+// String renders the EUI as 16 upper-case hex digits (the "%016X" form),
+// hand-rolled because the session cache builds it on the join path and
+// fmt.Sprintf costs several allocations there.
+func (e EUI) String() string {
+	var b [16]byte
+	v := uint64(e)
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = upperhex[v&0xF]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+const upperhex = "0123456789ABCDEF"
 
 // JoinRequestFrame is the device's join request.
 type JoinRequestFrame struct {
@@ -53,21 +64,33 @@ func (j *JoinRequestFrame) Marshal(appKey []byte) ([]byte, error) {
 // internal/netserver), or an attacker who recorded one join can force a
 // rekey at will.
 func ParseJoinRequest(wire, appKey []byte) (*JoinRequestFrame, error) {
-	if len(wire) != 1+8+8+2+micLen {
-		return nil, ErrTooShort
-	}
-	if MType(wire[0]>>5) != JoinRequest {
-		return nil, ErrBadMType
-	}
-	body := wire[:len(wire)-micLen]
-	mac, err := CMAC(appKey, body)
+	kc, err := NewKeyCipher(appKey)
 	if err != nil {
 		return nil, err
 	}
-	if !constantTimeEqual(wire[len(wire)-micLen:], mac[:micLen]) {
-		return nil, ErrBadMIC
+	var st Scratch
+	jr, err := ParseJoinRequestCached(wire, kc, &st)
+	if err != nil {
+		return nil, err
 	}
-	return &JoinRequestFrame{
+	return &jr, nil
+}
+
+// ParseJoinRequestCached is ParseJoinRequest under a cached AppKey cipher,
+// returning the frame by value so the verify hot path allocates nothing.
+func ParseJoinRequestCached(wire []byte, kc *KeyCipher, st *Scratch) (JoinRequestFrame, error) {
+	if len(wire) != 1+8+8+2+micLen {
+		return JoinRequestFrame{}, ErrTooShort
+	}
+	if MType(wire[0]>>5) != JoinRequest {
+		return JoinRequestFrame{}, ErrBadMType
+	}
+	body := wire[:len(wire)-micLen]
+	mac := kc.MAC(st, body)
+	if !constantTimeEqual(wire[len(wire)-micLen:], mac[:micLen]) {
+		return JoinRequestFrame{}, ErrBadMIC
+	}
+	return JoinRequestFrame{
 		AppEUI:   EUI(binary.LittleEndian.Uint64(wire[1:9])),
 		DevEUI:   EUI(binary.LittleEndian.Uint64(wire[9:17])),
 		DevNonce: binary.LittleEndian.Uint16(wire[17:19]),
@@ -87,7 +110,24 @@ type JoinAcceptFrame struct {
 // AES-*decrypted* under the AppKey (so the constrained device only ever
 // needs the encrypt primitive, per the specification).
 func (j *JoinAcceptFrame) Marshal(appKey []byte) ([]byte, error) {
-	content := make([]byte, 0, 12)
+	kc, err := NewKeyCipher(appKey)
+	if err != nil {
+		return nil, err
+	}
+	return j.MarshalCached(kc)
+}
+
+// MarshalCached is Marshal under a cached AppKey cipher.
+func (j *JoinAcceptFrame) MarshalCached(kc *KeyCipher) ([]byte, error) {
+	var st Scratch
+	return j.MarshalScratch(kc, &st)
+}
+
+// MarshalScratch is MarshalCached with caller-owned scratch. It allocates
+// nothing but the returned wire image: the content stages in st.b0, which
+// MAC documents as alias-safe.
+func (j *JoinAcceptFrame) MarshalScratch(kc *KeyCipher, st *Scratch) ([]byte, error) {
+	content := st.b0[:0]
 	content = append(content, uint8(j.AppNonce), uint8(j.AppNonce>>8), uint8(j.AppNonce>>16))
 	content = append(content, uint8(j.NetID), uint8(j.NetID>>8), uint8(j.NetID>>16))
 	var b4 [4]byte
@@ -95,24 +135,18 @@ func (j *JoinAcceptFrame) Marshal(appKey []byte) ([]byte, error) {
 	content = append(content, b4[:]...)
 	content = append(content, j.DLSettings, j.RxDelay)
 
-	mhdr := uint8(JoinAccept) << 5
-	mac, err := CMAC(appKey, append([]byte{mhdr}, content...))
-	if err != nil {
-		return nil, err
-	}
-	plain := append(content, mac[:micLen]...)
+	mhdr := [1]byte{uint8(JoinAccept) << 5}
+	mac := kc.MAC(st, mhdr[:], content)
+	plain := append(content, mac[:micLen]...) // fits the blockSize cap
 	if len(plain)%blockSize != 0 {
 		return nil, fmt.Errorf("lorawan: join accept content %d bytes, want multiple of 16", len(plain))
 	}
-	block, err := aes.NewCipher(appKey)
-	if err != nil {
-		return nil, err
-	}
-	enc := make([]byte, len(plain))
+	out := make([]byte, 1+len(plain))
+	out[0] = mhdr[0]
 	for i := 0; i < len(plain); i += blockSize {
-		block.Decrypt(enc[i:i+blockSize], plain[i:i+blockSize])
+		kc.Decrypt(out[1+i:1+i+blockSize], plain[i:i+blockSize])
 	}
-	return append([]byte{mhdr}, enc...), nil
+	return out, nil
 }
 
 // ParseJoinAccept decrypts (by encrypting, as the device does), verifies
@@ -124,18 +158,16 @@ func ParseJoinAccept(wire, appKey []byte) (*JoinAcceptFrame, error) {
 	if MType(wire[0]>>5) != JoinAccept {
 		return nil, ErrBadMType
 	}
-	block, err := aes.NewCipher(appKey)
+	kc, err := NewKeyCipher(appKey)
 	if err != nil {
 		return nil, err
 	}
 	plain := make([]byte, 16)
-	block.Encrypt(plain, wire[1:])
+	kc.Encrypt(plain, wire[1:])
 
+	var st Scratch
 	content, mic := plain[:12], plain[12:]
-	mac, err := CMAC(appKey, append([]byte{wire[0]}, content...))
-	if err != nil {
-		return nil, err
-	}
+	mac := kc.MAC(&st, wire[:1], content)
 	if !constantTimeEqual(mic, mac[:micLen]) {
 		return nil, ErrBadMIC
 	}
@@ -160,19 +192,35 @@ func ParseJoinAccept(wire, appKey []byte) (*JoinAcceptFrame, error) {
 // exact nonce values from the wire, or the derived keys silently
 // diverge and every subsequent frame fails its MIC.
 func DeriveSessionKeys(appKey []byte, appNonce, netID uint32, devNonce uint16) (nwkSKey, appSKey []byte, err error) {
-	block, err := aes.NewCipher(appKey)
+	kc, err := NewKeyCipher(appKey)
 	if err != nil {
 		return nil, nil, err
 	}
-	derive := func(tag uint8) []byte {
-		var in [blockSize]byte
-		in[0] = tag
-		in[1], in[2], in[3] = uint8(appNonce), uint8(appNonce>>8), uint8(appNonce>>16)
-		in[4], in[5], in[6] = uint8(netID), uint8(netID>>8), uint8(netID>>16)
-		binary.LittleEndian.PutUint16(in[7:9], devNonce)
-		out := make([]byte, blockSize)
-		block.Encrypt(out, in[:])
-		return out
-	}
-	return derive(0x01), derive(0x02), nil
+	nwk, app := DeriveSessionKeysCached(kc, appNonce, netID, devNonce)
+	return nwk[:], app[:], nil
+}
+
+// DeriveSessionKeysCached is DeriveSessionKeys under a cached AppKey
+// cipher, returning the keys by value.
+func DeriveSessionKeysCached(kc *KeyCipher, appNonce, netID uint32, devNonce uint16) (nwkSKey, appSKey [blockSize]byte) {
+	var st Scratch
+	return DeriveSessionKeysScratch(kc, &st, appNonce, netID, devNonce)
+}
+
+// DeriveSessionKeysScratch is DeriveSessionKeysCached with caller-owned
+// scratch: the local Scratch above escapes through the cipher interface,
+// so the per-join hot path passes its own instead and allocates nothing.
+func DeriveSessionKeysScratch(kc *KeyCipher, st *Scratch, appNonce, netID uint32, devNonce uint16) (nwkSKey, appSKey [blockSize]byte) {
+	in := &st.b0
+	*in = [blockSize]byte{} // the tail of the block is zero padding
+	in[1], in[2], in[3] = uint8(appNonce), uint8(appNonce>>8), uint8(appNonce>>16)
+	in[4], in[5], in[6] = uint8(netID), uint8(netID>>8), uint8(netID>>16)
+	binary.LittleEndian.PutUint16(in[7:9], devNonce)
+	in[0] = 0x01
+	kc.Encrypt(st.ks[:], in[:])
+	nwkSKey = st.ks
+	in[0] = 0x02
+	kc.Encrypt(st.ks[:], in[:])
+	appSKey = st.ks
+	return nwkSKey, appSKey
 }

@@ -14,6 +14,10 @@ type Metrics struct {
 	Sessions      *metrics.Gauge   // tnb_netserver_sessions_active
 	DedupPending  *metrics.Gauge   // tnb_netserver_dedup_pending
 	DedupBytes    *metrics.Gauge   // tnb_netserver_dedup_bytes
+	ShardCount    *metrics.Gauge   // tnb_netserver_shard_count
+	SlowRouted    *metrics.Counter // tnb_netserver_shard_slow_routed_total
+	ShardMigrated *metrics.Counter // tnb_netserver_shard_migrated_entries_total
+	NonceEvicted  *metrics.Counter // tnb_netserver_devnonce_evictions_total
 }
 
 // NewMetrics registers the netserver instruments on reg.
@@ -28,6 +32,10 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		Sessions:      reg.Gauge("tnb_netserver_sessions_active"),
 		DedupPending:  reg.Gauge("tnb_netserver_dedup_pending"),
 		DedupBytes:    reg.Gauge("tnb_netserver_dedup_bytes"),
+		ShardCount:    reg.Gauge("tnb_netserver_shard_count"),
+		SlowRouted:    reg.Counter("tnb_netserver_shard_slow_routed_total"),
+		ShardMigrated: reg.Counter("tnb_netserver_shard_migrated_entries_total"),
+		NonceEvicted:  reg.Counter("tnb_netserver_devnonce_evictions_total"),
 	}
 }
 
@@ -77,5 +85,35 @@ func (m *Metrics) setDedup(pending int, bytes int64) {
 	if m != nil {
 		m.DedupPending.Set(int64(pending))
 		m.DedupBytes.Set(bytes)
+	}
+}
+
+func (m *Metrics) onDupsSuppressed(n uint64) {
+	if m != nil {
+		m.DupSuppressed.Add(n)
+	}
+}
+
+func (m *Metrics) setShardCount(n int) {
+	if m != nil {
+		m.ShardCount.Set(int64(n))
+	}
+}
+
+func (m *Metrics) onSlowRouted() {
+	if m != nil {
+		m.SlowRouted.Inc()
+	}
+}
+
+func (m *Metrics) onShardMigrated(n int) {
+	if m != nil {
+		m.ShardMigrated.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) onNonceEvicted() {
+	if m != nil {
+		m.NonceEvicted.Inc()
 	}
 }

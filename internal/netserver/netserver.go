@@ -20,18 +20,23 @@
 //     token bucket in logical time; an exhausted bucket turns the delivery
 //     into a quota_exceeded drop.
 //
-// Determinism contract: Ingest fans the CPU-heavy crypto verification over
-// internal/parallel into index-addressed slots, then commits serially in
-// batch order, so the event stream is byte-identical at every worker
-// width. Time is logical (Uplink.TimeSec), never the wall clock, so a
-// fixed fleet seed replays to the same bytes.
+// Ingest is a sharded pipeline (DESIGN.md §14): a serial route pass stamps
+// logical clocks and arrival indexes and splits the batch into a fast lane
+// (data frames for known, quiescent devices — the steady state) and a slow
+// lane (joins and frames whose session state is in motion). Fast frames
+// are MIC-verified on the worker pool with cached per-session ciphers and
+// committed concurrently on per-device-EUI state shards; the slow lane and
+// all cross-cutting state (quotas, counters, tracing) run in a serial
+// merge that interleaves every shard's records in logical-clock +
+// arrival-index order. The event stream is byte-identical at every worker
+// width and shard count. Time is logical (Uplink.TimeSec), never the wall
+// clock, so a fixed fleet seed replays to the same bytes.
 package netserver
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,6 +84,7 @@ const (
 	DefaultNetID          = 0x000013
 	DefaultDevAddrBase    = 0x26000000
 	DefaultDedupWindowSec = 0.2
+	DefaultShards         = 8
 )
 
 // Config tunes a Server.
@@ -97,6 +103,11 @@ type Config struct {
 	// semantics: 0 → GOMAXPROCS, 1 → serial). Output is byte-identical at
 	// every width.
 	Workers int
+	// Shards is the number of lock-striped state shards device state is
+	// spread over; commit runs concurrently across shards. 0 selects
+	// DefaultShards; negative selects 1. Output is byte-identical at every
+	// shard count.
+	Shards int
 	// Devices is the OTAA provisioning table.
 	Devices []Device
 	// Quotas maps tenant → quota; tenants not listed are unlimited.
@@ -106,8 +117,8 @@ type Config struct {
 	// Tracer, when non-nil, mirrors every drop event into the trace
 	// stream as an obs "net" record (reason, logical time, origin), so a
 	// trace store can answer "which gateway fed the bad_mic frames".
-	// Emission happens in the serial commit phase, so record order is
-	// identical at every Workers width.
+	// Emission happens in the serial merge phase, so record order is
+	// identical at every Workers width and shard count.
 	Tracer *obs.Tracer
 }
 
@@ -153,58 +164,27 @@ const (
 	ReasonQuotaExceeded    = "quota_exceeded"
 )
 
-// session is one activated device: the derived keys and uplink state.
+// session is one activated device: the derived key ciphers (expanded once
+// at join, so per-frame verify/decrypt is schedule-free), the identity
+// strings every event repeats, and the uplink state.
 type session struct {
-	devEUI   lorawan.EUI
-	devAddr  lorawan.DevAddr
-	tenant   string
-	nwkSKey  []byte
-	appSKey  []byte
-	lastFCnt int64 // highest delivered FCnt; -1 before the first uplink
+	devEUI     lorawan.EUI
+	devAddr    lorawan.DevAddr
+	tenant     string
+	devEUIStr  string
+	devAddrStr string
+	nwkKC      *lorawan.KeyCipher
+	appKC      *lorawan.KeyCipher
+	lastFCnt   int64 // highest accepted FCnt; -1 before the first uplink
+	shard      int   // shardOf(devEUI), cached
 }
 
 // deviceState is one provisioned device's server-side record.
 type deviceState struct {
-	dev        Device
-	usedNonces map[uint16]bool
-	sess       *session // nil until joined
-}
-
-// verdict kinds.
-const (
-	vDrop = iota
-	vJoin
-	vData
-	vDefer // session unknown at verify time; re-verified serially
-)
-
-// verdict is the parallel verification result for one uplink.
-type verdict struct {
-	kind   int
-	reason string
-	join   *lorawan.JoinRequestFrame
-	dev    *deviceState
-	frame  *lorawan.DataFrame
-	sess   *session // the session the frame was verified against
-}
-
-// pendEntry is one frame waiting out its dedup window.
-type pendEntry struct {
-	key      string
-	first    float64 // receive time of the first copy
-	channel  int
-	sf       int
-	copies   int
-	gateways []string
-	bestSNR  float64
-	bestGW   string
-	bytes    int64 // dedup-table memory charged for this entry
-
-	isJoin bool
-	dev    *deviceState
-	join   *lorawan.JoinRequestFrame
-	sess   *session
-	frame  *lorawan.DataFrame
+	dev    Device
+	appKC  *lorawan.KeyCipher // cached root-key cipher
+	nonces nonceWindow
+	sess   *session // nil until joined
 }
 
 // shardStat accumulates per-(channel, SF) traffic.
@@ -212,6 +192,34 @@ type shardStat struct {
 	Uplinks   uint64 `json:"uplinks"`
 	Delivered uint64 `json:"delivered"`
 }
+
+// chCounter is one (channel, SF) tally row; gwCounter and reasonCounter
+// are the per-gateway and per-drop-reason equivalents.
+type chCounter struct {
+	ch, sf int
+	shardStat
+}
+
+type gwCounter struct {
+	id string
+	n  uint64
+}
+
+type reasonCounter struct {
+	reason string
+	n      uint64
+}
+
+// Pipeline thresholds: batches below pipelineMinBatch (or Workers=1) run
+// inline — the goroutine plumbing costs more than it buys on small
+// batches. pipelineChunk is the verify hand-off granularity; the committer
+// queues are bounded so a slow shard back-pressures verify instead of
+// buffering the whole batch (the old full-batch barrier).
+const (
+	pipelineMinBatch  = 32
+	pipelineChunk     = 16
+	committerQueueCap = 128
+)
 
 // Server is the network server. Build it with New; drive it with Ingest
 // (one goroutine), read it with Stats/Handler (any goroutine).
@@ -221,18 +229,43 @@ type Server struct {
 	met    *Metrics
 	inUse  atomic.Bool
 
-	mu         sync.Mutex
-	devices    map[lorawan.EUI]*deviceState
-	sessions   map[lorawan.DevAddr]*session
-	pend       []*pendEntry // FIFO; first times are nondecreasing
-	pendByKey  map[string]*pendEntry
-	pendBytes  int64
-	clock      float64
-	joinCount  uint32
-	buckets    map[string]*bucket
-	shards     map[[2]int]*shardStat
-	gateways   map[string]uint64
-	dropReason map[string]uint64
+	mu       sync.Mutex
+	nshards  int
+	devices  map[lorawan.EUI]*deviceState
+	sessions map[lorawan.DevAddr]*session
+	shards   []*ingestShard
+
+	// Slow lane: windows owned by the serial merge — joins, and data for
+	// devices with a join in flight. slowDevs refcounts each device's live
+	// slow windows (while >0 its new traffic keeps routing slow);
+	// batchSlow lists devices with a join in the current batch.
+	slow      pendTable
+	slowDevs  map[lorawan.EUI]int
+	batchSlow []lorawan.EUI
+
+	clock     float64
+	seq       uint64 // global arrival index, monotone across batches
+	joinCount uint32
+	buckets   map[string]*bucket
+
+	// Per-gateway, per-reason and per-(channel,SF) tallies. These are
+	// linear-scanned slices, not maps: their cardinality is the deployment's
+	// gateway / drop-reason / channel-plan count (a handful), and at that
+	// size a scan beats hashing on the per-uplink increment path while
+	// costing zero map-growth allocations.
+	chStats    []chCounter
+	gateways   []gwCounter
+	dropReason []reasonCounter
+
+	// Per-batch scratch, capacity-reused so the steady state allocates
+	// nothing.
+	route         []routeInfo
+	statelessRecs []rec
+	slowItems     []int
+	mergeRecs     []rec
+	verifySc      []lorawan.Scratch
+	commitSc      []lorawan.Scratch
+	mergeSc       lorawan.Scratch
 
 	nUplinks, nJoins, nDelivered, nDups, nDrops, nQuota uint64
 }
@@ -252,17 +285,29 @@ func New(cfg Config) (*Server, error) {
 	if window < 0 {
 		window = 0
 	}
+	nshards := cfg.Shards
+	if nshards == 0 {
+		nshards = DefaultShards
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
 	s := &Server{
-		cfg:        cfg,
-		window:     window,
-		met:        cfg.Metrics,
-		devices:    make(map[lorawan.EUI]*deviceState, len(cfg.Devices)),
-		sessions:   make(map[lorawan.DevAddr]*session),
-		pendByKey:  make(map[string]*pendEntry),
-		buckets:    make(map[string]*bucket),
-		shards:     make(map[[2]int]*shardStat),
-		gateways:   make(map[string]uint64),
-		dropReason: make(map[string]uint64),
+		cfg:      cfg,
+		window:   window,
+		met:      cfg.Metrics,
+		nshards:  nshards,
+		devices:  make(map[lorawan.EUI]*deviceState, len(cfg.Devices)),
+		sessions: make(map[lorawan.DevAddr]*session, len(cfg.Devices)),
+		shards:   make([]*ingestShard, nshards),
+		slowDevs: make(map[lorawan.EUI]int),
+	}
+	// One backing array for the stripes; the per-stripe dedup key index is
+	// created lazily on first insert (pendTable.add), so an idle shard
+	// costs nothing.
+	backing := make([]ingestShard, nshards)
+	for i := range s.shards {
+		s.shards[i] = &backing[i]
 	}
 	for _, d := range cfg.Devices {
 		if len(d.AppKey) != 16 {
@@ -271,18 +316,26 @@ func New(cfg Config) (*Server, error) {
 		if _, dup := s.devices[d.DevEUI]; dup {
 			return nil, fmt.Errorf("netserver: device %s provisioned twice", d.DevEUI)
 		}
-		s.devices[d.DevEUI] = &deviceState{dev: d, usedNonces: make(map[uint16]bool)}
-	}
-	for tenant, q := range cfg.Quotas {
-		if q.RatePerSec <= 0 {
-			continue // unlimited
+		kc, err := lorawan.NewKeyCipher(d.AppKey)
+		if err != nil {
+			return nil, fmt.Errorf("netserver: device %s: %w", d.DevEUI, err)
 		}
-		burst := q.Burst
-		if burst <= 0 {
-			burst = 1
-		}
-		s.buckets[tenant] = &bucket{rate: q.RatePerSec, burst: burst, tokens: burst}
+		s.devices[d.DevEUI] = &deviceState{dev: d, appKC: kc}
 	}
+	if len(cfg.Quotas) > 0 {
+		s.buckets = make(map[string]*bucket, len(cfg.Quotas))
+		for tenant, q := range cfg.Quotas {
+			if q.RatePerSec <= 0 {
+				continue // unlimited
+			}
+			burst := q.Burst
+			if burst <= 0 {
+				burst = 1
+			}
+			s.buckets[tenant] = &bucket{rate: q.RatePerSec, burst: burst, tokens: burst}
+		}
+	}
+	s.met.setShardCount(nshards)
 	return s, nil
 }
 
@@ -313,28 +366,31 @@ func (b *bucket) allow(t float64) bool {
 // Ingest feeds one batch of uplinks, ordered by TimeSec, and returns the
 // events they produced (including deliveries of earlier frames whose dedup
 // window expired as the batch's logical clock advanced). MIC verification
-// and payload decryption run on the worker pool; commits are serial in
-// batch order, so the event stream is identical at every worker width.
+// runs on the worker pool and commits run concurrently per state shard,
+// pipelined through bounded queues; the serial merge re-interleaves the
+// records in logical-clock + arrival-index order, so the event stream is
+// identical at every worker width and shard count.
 func (s *Server) Ingest(batch []Uplink) ([]Event, error) {
 	if !s.inUse.CompareAndSwap(false, true) {
 		return nil, ErrConcurrentUse
 	}
 	defer s.inUse.Store(false)
-
-	// Phase 1 — parallel verify into index-addressed slots. Workers only
-	// read the device/session tables; every mutation happens in phase 2.
-	verdicts := make([]verdict, len(batch))
-	parallel.ForEach(s.cfg.Workers, len(batch), func(_, i int) {
-		verdicts[i] = s.verify(&batch[i])
-	})
-
-	// Phase 2 — serial commit in batch order.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var evs []Event
-	for i := range batch {
-		evs = s.commit(evs, &batch[i], &verdicts[i])
+
+	s.routeBatch(batch)
+
+	workers := parallel.Workers(s.cfg.Workers)
+	if workers > len(batch) {
+		workers = len(batch)
 	}
+	if workers <= 1 || len(batch) < pipelineMinBatch {
+		s.runInline(batch)
+	} else {
+		s.runPipelined(batch, workers)
+	}
+
+	evs := s.mergeAndFinalize(nil, batch, &s.mergeSc, s.clock)
 	s.updateGauges()
 	return evs, nil
 }
@@ -353,7 +409,10 @@ func (s *Server) AdvanceTo(t float64) ([]Event, error) {
 		t = s.clock
 	}
 	s.clock = t
-	evs := s.flushExpired(nil, t)
+	for _, sh := range s.shards {
+		s.flushShard(sh, &s.mergeSc, t)
+	}
+	evs := s.mergeAndFinalize(nil, nil, &s.mergeSc, t)
 	s.updateGauges()
 	return evs, nil
 }
@@ -368,354 +427,292 @@ func (s *Server) Flush() ([]Event, error) {
 	defer s.inUse.Store(false)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var evs []Event
-	for len(s.pend) > 0 {
-		evs = s.deliver(evs, s.pend[0])
-		s.pend = s.pend[1:]
+	for _, sh := range s.shards {
+		s.flushShard(sh, &s.mergeSc, drainLimitAll)
 	}
-	s.pendByKey = make(map[string]*pendEntry)
-	s.pendBytes = 0
+	evs := s.mergeAndFinalize(nil, nil, &s.mergeSc, drainLimitAll)
 	s.updateGauges()
 	return evs, nil
 }
 
-// verify classifies one uplink and runs its crypto without touching server
-// state. Safe to run concurrently with other verify calls (read-only).
-func (s *Server) verify(u *Uplink) verdict {
-	w := u.Payload
-	if len(w) < 1 {
-		return verdict{kind: vDrop, reason: ReasonMalformed}
+// routeBatch is the serial front half of Ingest: it stamps each item with
+// its clamped logical clock and global arrival index, classifies it, and
+// splits the batch into lanes. Pass A scans joins first so that a device
+// with a join ANYWHERE in the batch routes all its data slow (a join
+// earlier in arrival order may replace the session a later frame needs);
+// the same sweep migrates the device's already-open fast windows into the
+// slow lane. Pass B then assigns data frames and bumps the per-uplink
+// counters in arrival order.
+func (s *Server) routeBatch(batch []Uplink) {
+	if cap(s.route) < len(batch) {
+		s.route = make([]routeInfo, len(batch))
 	}
-	switch mtype := lorawan.MType(w[0] >> 5); mtype {
-	case lorawan.JoinRequest:
-		if len(w) != 23 {
-			return verdict{kind: vDrop, reason: ReasonMalformed}
+	s.route = s.route[:len(batch)]
+	s.statelessRecs = s.statelessRecs[:0]
+	s.slowItems = s.slowItems[:0]
+	s.batchSlow = s.batchSlow[:0]
+
+	// Pass A — clocks, arrival indexes, join classification.
+	for i := range batch {
+		u := &batch[i]
+		t := u.TimeSec
+		if t < s.clock {
+			t = s.clock // logical time never runs backwards
 		}
-		devEUI := lorawan.EUI(binary.LittleEndian.Uint64(w[9:17]))
-		dev, ok := s.devices[devEUI]
+		s.clock = t
+		ri := &s.route[i]
+		*ri = routeInfo{t: t, seq: s.seq}
+		s.seq++
+		w := u.Payload
+		if len(w) < 1 {
+			ri.reason = ReasonMalformed
+			continue
+		}
+		switch lorawan.MType(w[0] >> 5) {
+		case lorawan.JoinRequest:
+			if len(w) != 23 {
+				ri.reason = ReasonMalformed
+				continue
+			}
+			devEUI := lorawan.EUI(binary.LittleEndian.Uint64(w[9:17]))
+			dev := s.devices[devEUI]
+			if dev == nil {
+				ri.reason = ReasonUnknownDevice
+				continue
+			}
+			ri.class = icSlowJoin
+			ri.dev = dev
+			if !euiIn(s.batchSlow, devEUI) {
+				s.batchSlow = append(s.batchSlow, devEUI)
+			}
+		case lorawan.UnconfirmedDataUp, lorawan.ConfirmedDataUp:
+			if len(w) < 12 {
+				ri.reason = ReasonMalformed
+				continue
+			}
+			ri.class = icDataPend
+		default:
+			ri.reason = ReasonUnsupportedMType
+		}
+	}
+
+	if len(s.batchSlow) > 0 {
+		for _, eui := range s.batchSlow {
+			s.migrateToSlow(eui)
+		}
+		// Migrated entries interleave with existing slow windows; seq order
+		// is expiry order (clocks are prefix maxima).
+		sort.Sort(pendBySeq(s.slow.pend))
+		if cap(s.slowItems) < len(batch) {
+			// A join in the batch drags its device's data to the slow lane
+			// too; size for the worst case once instead of growing through
+			// the small append sizes.
+			s.slowItems = make([]int, 0, len(batch))
+		}
+	}
+
+	// Pass B — lane assignment and per-uplink accounting.
+	for i := range batch {
+		u := &batch[i]
+		ri := &s.route[i]
+		s.nUplinks++
+		s.met.onUplink()
+		s.bumpGateway(u.GatewayID)
+		s.chStat(u.Channel, u.SF).Uplinks++
+		switch ri.class {
+		case icDropped:
+			s.statelessRecs = append(s.statelessRecs, immediateDropRec(u, ri, ri.reason))
+		case icSlowJoin:
+			s.slowItems = append(s.slowItems, i)
+			s.met.onSlowRouted()
+		case icDataPend:
+			addr := lorawan.DevAddr(binary.LittleEndian.Uint32(u.Payload[1:5]))
+			sess := s.sessions[addr]
+			if sess == nil || euiIn(s.batchSlow, sess.devEUI) || s.slowDevs[sess.devEUI] > 0 {
+				// Unknown address (the session may be created later in this
+				// very batch) or session state in motion: decide serially.
+				ri.class = icSlowData
+				s.slowItems = append(s.slowItems, i)
+				s.met.onSlowRouted()
+				continue
+			}
+			ri.class = icFast
+			ri.sess = sess
+			ri.shard = int32(sess.shard)
+		}
+	}
+}
+
+// verifyItem runs one item's parallel-safe work: the frame hash, and the
+// MIC check for lanes whose key material is already pinned (fast data
+// against its session, joins against the device root key). Reads only
+// immutable state; every mutation happens at commit or merge.
+func (s *Server) verifyItem(u *Uplink, ri *routeInfo, sc *lorawan.Scratch) {
+	ri.hash = fnv64a(u.Payload)
+	switch ri.class {
+	case icFast:
+		hdr, ok := lorawan.ParseDataHeader(u.Payload)
 		if !ok {
-			return verdict{kind: vDrop, reason: ReasonUnknownDevice}
+			ri.micOK = false
+			return
 		}
-		jr, err := lorawan.ParseJoinRequest(w, dev.dev.AppKey)
-		if err != nil {
-			return verdict{kind: vDrop, reason: ReasonBadMIC}
-		}
-		return verdict{kind: vJoin, join: jr, dev: dev}
-	case lorawan.UnconfirmedDataUp, lorawan.ConfirmedDataUp:
-		if len(w) < 12 {
-			return verdict{kind: vDrop, reason: ReasonMalformed}
-		}
-		addr := lorawan.DevAddr(binary.LittleEndian.Uint32(w[1:5]))
-		sess, ok := s.sessions[addr]
-		if !ok {
-			// The session may be created later in this very batch (join
-			// and first uplink together); decide serially.
-			return verdict{kind: vDefer}
-		}
-		f, err := lorawan.ParseDataFrame(w, sess.nwkSKey, sess.appSKey)
-		if err != nil {
-			return verdict{kind: vDrop, reason: ReasonBadMIC}
-		}
-		return verdict{kind: vData, frame: f, sess: sess}
-	default:
-		return verdict{kind: vDrop, reason: ReasonUnsupportedMType}
+		ri.hdr = hdr
+		ri.micOK = ri.sess.nwkKC.VerifyDataMIC(sc, ri.sess.devAddr, uint32(hdr.FCnt), true, u.Payload)
+	case icSlowJoin:
+		jr, err := lorawan.ParseJoinRequestCached(u.Payload, ri.dev.appKC, sc)
+		ri.micOK = err == nil
+		ri.join = jr
 	}
 }
 
-// commit applies one uplink's verdict under the server lock, appending any
-// events (window-expiry deliveries first, then this uplink's own outcome).
-func (s *Server) commit(evs []Event, u *Uplink, v *verdict) []Event {
-	t := u.TimeSec
-	if t < s.clock {
-		t = s.clock // logical time never runs backwards
-	}
-	s.clock = t
-	evs = s.flushExpired(evs, t)
-
-	s.nUplinks++
-	s.met.onUplink()
-	s.gateways[u.GatewayID]++
-	s.shardStat(u.Channel, u.SF).Uplinks++
-
-	// A deferred or stale verification re-runs serially: the session table
-	// may have changed since phase 1 (same-batch join or rejoin).
-	if v.kind == vDefer {
-		*v = s.reverify(u)
-	} else if v.kind == vData {
-		if cur, ok := s.sessions[v.sess.devAddr]; !ok || cur != v.sess {
-			*v = s.reverify(u)
+// runInline is the serial execution path: verify and commit each item in
+// arrival order on the calling goroutine. Zero goroutines, zero channels —
+// the right shape for small batches and Workers=1.
+func (s *Server) runInline(batch []Uplink) {
+	sc := &s.commitScratch(1)[0]
+	for i := range batch {
+		ri := &s.route[i]
+		if ri.class != icDropped {
+			s.verifyItem(&batch[i], ri, sc)
+		}
+		if ri.class == icFast {
+			s.commitFast(sc, batch, i)
 		}
 	}
-
-	switch v.kind {
-	case vDrop:
-		return s.drop(evs, u, t, v.reason)
-	case vJoin:
-		key := fmt.Sprintf("j:%s:%04x:%x", v.join.DevEUI, v.join.DevNonce, payloadHash(u.Payload))
-		if e, ok := s.pendByKey[key]; ok {
-			s.mergeCopy(e, u)
-			return evs
-		}
-		if v.dev.usedNonces[v.join.DevNonce] {
-			return s.drop(evs, u, t, ReasonReplayedDevNonce)
-		}
-		e := &pendEntry{isJoin: true, dev: v.dev, join: v.join}
-		s.addPend(e, key, u, t)
-		return evs
-	case vData:
-		key := fmt.Sprintf("d:%s:%d:%x", v.sess.devAddr, v.frame.FCnt, payloadHash(u.Payload))
-		if e, ok := s.pendByKey[key]; ok {
-			s.mergeCopy(e, u)
-			return evs
-		}
-		if int64(v.frame.FCnt) <= v.sess.lastFCnt {
-			return s.drop(evs, u, t, ReasonReplayedFCnt)
-		}
-		e := &pendEntry{sess: v.sess, frame: v.frame}
-		s.addPend(e, key, u, t)
-		return evs
+	for _, sh := range s.shards {
+		s.flushShard(sh, sc, s.clock)
 	}
-	return evs
 }
 
-// reverify is the serial fallback for verdicts that phase 1 could not
-// settle against a stable session table.
-func (s *Server) reverify(u *Uplink) verdict {
-	w := u.Payload
-	addr := lorawan.DevAddr(binary.LittleEndian.Uint32(w[1:5]))
-	sess, ok := s.sessions[addr]
-	if !ok {
-		return verdict{kind: vDrop, reason: ReasonUnknownDevAddr}
+// runPipelined is the concurrent execution path: verify chunks fan out on
+// the worker pool, and as each prefix of the batch completes (in arrival
+// order), its fast items are dispatched through bounded queues to shard
+// committers running concurrently. Each committer owns a fixed set of
+// shards (shard mod C), so one shard's items arrive in arrival order and
+// commit without cross-shard coordination; back-pressure from a hot shard
+// throttles verify instead of buffering the batch.
+func (s *Server) runPipelined(batch []Uplink, workers int) {
+	ncommit := s.nshards
+	if ncommit > workers {
+		ncommit = workers
 	}
-	f, err := lorawan.ParseDataFrame(w, sess.nwkSKey, sess.appSKey)
-	if err != nil {
-		return verdict{kind: vDrop, reason: ReasonBadMIC}
+	queues := make([]chan int, ncommit)
+	for c := range queues {
+		queues[c] = make(chan int, committerQueueCap)
 	}
-	return verdict{kind: vData, frame: f, sess: sess}
+	for len(s.verifySc) < workers {
+		s.verifySc = append(s.verifySc, lorawan.Scratch{})
+	}
+	commitSc := s.commitScratch(ncommit)
+
+	var wg sync.WaitGroup
+	for c := 0; c < ncommit; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sc := &commitSc[c]
+			for i := range queues[c] {
+				s.commitFast(sc, batch, i)
+			}
+			for sh := c; sh < s.nshards; sh += ncommit {
+				s.flushShard(s.shards[sh], sc, s.clock)
+			}
+		}(c)
+	}
+
+	parallel.ForEachChunksOrdered(workers, len(batch), pipelineChunk,
+		func(worker, lo, hi int) {
+			sc := &s.verifySc[worker]
+			for i := lo; i < hi; i++ {
+				ri := &s.route[i]
+				if ri.class != icDropped {
+					s.verifyItem(&batch[i], ri, sc)
+				}
+			}
+		},
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ri := &s.route[i]
+				if ri.class == icFast {
+					queues[int(ri.shard)%ncommit] <- i
+				}
+			}
+		})
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
 }
 
-// addPend opens a dedup window for a first copy.
-func (s *Server) addPend(e *pendEntry, key string, u *Uplink, t float64) {
-	e.key = key
-	e.first = t
-	e.channel, e.sf = u.Channel, u.SF
-	e.copies = 1
-	e.gateways = []string{u.GatewayID}
-	e.bestSNR, e.bestGW = u.SNRdB, u.GatewayID
-	e.bytes = int64(len(u.Payload) + len(key) + pendOverheadBytes)
-	s.pend = append(s.pend, e)
-	s.pendByKey[key] = e
-	s.pendBytes += e.bytes
+// commitScratch returns at least n committer scratch slots, sized lazily:
+// serial servers never pay for scratch a pipelined width would need.
+func (s *Server) commitScratch(n int) []lorawan.Scratch {
+	if len(s.commitSc) < n {
+		s.commitSc = make([]lorawan.Scratch, n)
+	}
+	return s.commitSc
 }
 
-// mergeCopy folds another gateway's copy into a pending frame, keeping the
-// best-SNR reception (ties break toward the lexicographically smaller
-// gateway so the outcome is order-independent).
-func (s *Server) mergeCopy(e *pendEntry, u *Uplink) {
-	e.copies++
-	s.nDups++
-	s.met.onDupSuppressed()
-	if u.SNRdB > e.bestSNR || (u.SNRdB == e.bestSNR && u.GatewayID < e.bestGW) {
-		e.bestSNR, e.bestGW = u.SNRdB, u.GatewayID
+// chStat returns the (channel, SF) tally row, creating it on first sight.
+// The pointer aims into s.chStats' backing array: bump it immediately and
+// don't hold it across another chStat call, which may grow the slice.
+func (s *Server) chStat(ch, sf int) *shardStat {
+	for i := range s.chStats {
+		if c := &s.chStats[i]; c.ch == ch && c.sf == sf {
+			return &c.shardStat
+		}
 	}
-	for _, g := range e.gateways {
-		if g == u.GatewayID {
+	s.chStats = append(s.chStats, chCounter{ch: ch, sf: sf})
+	return &s.chStats[len(s.chStats)-1].shardStat
+}
+
+// bumpGateway counts one uplink against its gateway.
+func (s *Server) bumpGateway(id string) {
+	for i := range s.gateways {
+		if s.gateways[i].id == id {
+			s.gateways[i].n++
 			return
 		}
 	}
-	e.gateways = append(e.gateways, u.GatewayID)
-	e.bytes += int64(len(u.GatewayID))
-	s.pendBytes += int64(len(u.GatewayID))
+	s.gateways = append(s.gateways, gwCounter{id: id, n: 1})
 }
 
-// pendOverheadBytes approximates the fixed per-entry cost of the dedup
-// table (entry struct, map slot, queue slot) for the memory gauge.
-const pendOverheadBytes = 160
-
-// flushExpired delivers, in arrival order, every pending frame whose dedup
-// window closed by logical time t.
-func (s *Server) flushExpired(evs []Event, t float64) []Event {
-	for len(s.pend) > 0 && s.pend[0].first+s.window <= t {
-		e := s.pend[0]
-		s.pend = s.pend[1:]
-		evs = s.deliver(evs, e)
+// bumpDropReason counts one drop against its reason.
+func (s *Server) bumpDropReason(reason string) {
+	for i := range s.dropReason {
+		if s.dropReason[i].reason == reason {
+			s.dropReason[i].n++
+			return
+		}
 	}
-	return evs
+	s.dropReason = append(s.dropReason, reasonCounter{reason: reason, n: 1})
 }
 
-// deliver closes one dedup window: executes the join or hands the data
-// frame to the tenant's quota, emitting the event stamped at window expiry.
-func (s *Server) deliver(evs []Event, e *pendEntry) []Event {
-	delete(s.pendByKey, e.key)
-	s.pendBytes -= e.bytes
-	at := e.first + s.window
-	sort.Strings(e.gateways)
-
-	if e.isJoin {
-		return append(evs, s.executeJoin(e, at))
+// euiIn reports whether e appears in the (short, per-batch) list l.
+func euiIn(l []lorawan.EUI, e lorawan.EUI) bool {
+	for _, x := range l {
+		if x == e {
+			return true
+		}
 	}
-
-	// The world may have moved while the frame waited out its window:
-	// a rejoin replaces the session (old keys are void), and an equal-FCnt
-	// frame with a different payload opens its own window. Re-check both.
-	sess := e.sess
-	if cur, ok := s.sessions[sess.devAddr]; !ok || cur != sess {
-		return append(evs, s.windowDrop(e, at, sess, ReasonUnknownDevAddr))
-	}
-	if int64(e.frame.FCnt) <= sess.lastFCnt {
-		return append(evs, s.windowDrop(e, at, sess, ReasonReplayedFCnt))
-	}
-	tenant := sess.tenant
-	if !s.buckets[tenant].allow(at) {
-		s.nQuota++
-		s.met.onQuotaDropped()
-		ev := s.windowDrop(e, at, sess, ReasonQuotaExceeded)
-		ev.Tenant = tenant
-		return append(evs, ev)
-	}
-	sess.lastFCnt = int64(e.frame.FCnt)
-	s.nDelivered++
-	s.met.onDelivered()
-	s.shardStat(e.channel, e.sf).Delivered++
-	return append(evs, Event{
-		Type:    "delivery",
-		TimeSec: at,
-		DevEUI:  sess.devEUI.String(),
-		DevAddr: sess.devAddr.String(),
-		FCnt:    int(e.frame.FCnt),
-		FPort:   int(e.frame.FPort),
-		Payload: e.frame.FRMPayload,
-		Channel: e.channel, SF: e.sf,
-		Gateway: e.bestGW, SNRdB: e.bestSNR,
-		Copies: e.copies, Gateways: e.gateways,
-		Tenant: tenant,
-	})
+	return false
 }
 
-// executeJoin activates a session at window expiry: marks the DevNonce
-// used, assigns the deterministic DevAddr/AppNonce pair, derives the
-// session keys and builds the JoinAccept downlink.
-func (s *Server) executeJoin(e *pendEntry, at float64) Event {
-	dev := e.dev
-	dev.usedNonces[e.join.DevNonce] = true
-	if dev.sess != nil {
-		delete(s.sessions, dev.sess.devAddr) // rejoin replaces the session
+// dedupTotals sums the pending-window count and charged bytes across every
+// lane.
+func (s *Server) dedupTotals() (int, int64) {
+	n, b := len(s.slow.pend), s.slow.bytes
+	for _, sh := range s.shards {
+		n += len(sh.pend)
+		b += sh.bytes
 	}
-	s.joinCount++
-	addr := lorawan.DevAddr(s.cfg.DevAddrBase | (s.joinCount & 0x00FFFFFF))
-	appNonce := s.joinCount & 0x00FFFFFF
-
-	nwk, app, err := lorawan.DeriveSessionKeys(dev.dev.AppKey, appNonce, s.cfg.NetID, e.join.DevNonce)
-	if err != nil {
-		// Keys were validated at provisioning; failure here is unreachable
-		// short of memory corruption, but stay total.
-		s.nDrops++
-		s.met.onDropped()
-		s.dropReason[ReasonMalformed]++
-		ev := s.dropEvent(e, at, ReasonMalformed)
-		s.traceDrop(ev)
-		return ev
-	}
-	sess := &session{
-		devEUI: dev.dev.DevEUI, devAddr: addr, tenant: dev.dev.Tenant,
-		nwkSKey: nwk, appSKey: app, lastFCnt: -1,
-	}
-	dev.sess = sess
-	s.sessions[addr] = sess
-	s.nJoins++
-	s.met.onJoin()
-	s.shardStat(e.channel, e.sf).Delivered++
-
-	accept := &lorawan.JoinAcceptFrame{AppNonce: appNonce, NetID: s.cfg.NetID, DevAddr: addr, RxDelay: 1}
-	wire, err := accept.Marshal(dev.dev.AppKey)
-	if err != nil {
-		wire = nil
-	}
-	return Event{
-		Type:    "join",
-		TimeSec: at,
-		DevEUI:  dev.dev.DevEUI.String(),
-		DevAddr: addr.String(),
-		Channel: e.channel, SF: e.sf,
-		Gateway: e.bestGW, SNRdB: e.bestSNR,
-		Copies: e.copies, Gateways: e.gateways,
-		Tenant:     dev.dev.Tenant,
-		JoinAccept: wire,
-	}
-}
-
-// drop records an immediate (non-windowed) drop for one uplink.
-func (s *Server) drop(evs []Event, u *Uplink, t float64, reason string) []Event {
-	s.nDrops++
-	s.met.onDropped()
-	s.dropReason[reason]++
-	ev := Event{
-		Type:    "drop",
-		TimeSec: t,
-		Channel: u.Channel, SF: u.SF,
-		Gateway: u.GatewayID, SNRdB: u.SNRdB,
-		Reason: reason,
-	}
-	s.traceDrop(ev)
-	return append(evs, ev)
-}
-
-// traceDrop mirrors one drop event into the trace stream.
-func (s *Server) traceDrop(ev Event) {
-	s.cfg.Tracer.OnNet(obs.NetEvent{
-		Event:   obs.NetDrop,
-		Reason:  ev.Reason,
-		TimeSec: ev.TimeSec,
-		DevEUI:  ev.DevEUI,
-		DevAddr: ev.DevAddr,
-		Origin:  &obs.Origin{Gateway: ev.Gateway, Channel: ev.Channel, SF: ev.SF},
-	})
-}
-
-// dropEvent builds a drop event for a windowed entry.
-func (s *Server) dropEvent(e *pendEntry, at float64, reason string) Event {
-	return Event{
-		Type:    "drop",
-		TimeSec: at,
-		Channel: e.channel, SF: e.sf,
-		Gateway: e.bestGW, SNRdB: e.bestSNR,
-		Copies: e.copies, Gateways: e.gateways,
-		Reason: reason,
-	}
-}
-
-// windowDrop records a deliver-time drop of a windowed data frame.
-func (s *Server) windowDrop(e *pendEntry, at float64, sess *session, reason string) Event {
-	s.nDrops++
-	s.met.onDropped()
-	s.dropReason[reason]++
-	ev := s.dropEvent(e, at, reason)
-	ev.DevEUI = sess.devEUI.String()
-	ev.DevAddr = sess.devAddr.String()
-	s.traceDrop(ev)
-	return ev
-}
-
-func (s *Server) shardStat(ch, sf int) *shardStat {
-	k := [2]int{ch, sf}
-	st, ok := s.shards[k]
-	if !ok {
-		st = &shardStat{}
-		s.shards[k] = st
-	}
-	return st
+	return n, b
 }
 
 func (s *Server) updateGauges() {
 	s.met.setSessions(len(s.sessions))
-	s.met.setDedup(len(s.pend), s.pendBytes)
-}
-
-// payloadHash is the dedup fingerprint of the frame bytes.
-func payloadHash(p []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(p)
-	return h.Sum64()
+	n, b := s.dedupTotals()
+	s.met.setDedup(n, b)
 }
 
 // ShardStats is one (channel, SF) row of the ops surface.
@@ -738,15 +735,18 @@ type Stats struct {
 	QuotaDropped  uint64            `json:"quota_dropped"`
 	DedupPending  int               `json:"dedup_pending"`
 	DedupBytes    int64             `json:"dedup_bytes"`
+	StateShards   int               `json:"state_shards"`
 	Shards        []ShardStats      `json:"shards"`
 	Gateways      map[string]uint64 `json:"gateways"`
 	DropReasons   map[string]uint64 `json:"drop_reasons,omitempty"`
 }
 
-// Stats snapshots the server. Safe to call concurrently with Ingest.
+// Stats snapshots the server. Safe to call concurrently with Ingest (it
+// waits for the in-flight batch).
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	pendN, pendB := s.dedupTotals()
 	st := Stats{
 		Devices:       len(s.devices),
 		Sessions:      len(s.sessions),
@@ -756,25 +756,36 @@ func (s *Server) Stats() Stats {
 		DupSuppressed: s.nDups,
 		Dropped:       s.nDrops,
 		QuotaDropped:  s.nQuota,
-		DedupPending:  len(s.pend),
-		DedupBytes:    s.pendBytes,
+		DedupPending:  pendN,
+		DedupBytes:    pendB,
+		StateShards:   s.nshards,
 		Gateways:      make(map[string]uint64, len(s.gateways)),
 		DropReasons:   make(map[string]uint64, len(s.dropReason)),
 	}
-	for k, v := range s.gateways {
-		st.Gateways[k] = v
+	for _, g := range s.gateways {
+		st.Gateways[g.id] = g.n
 	}
-	for k, v := range s.dropReason {
-		st.DropReasons[k] = v
+	for _, r := range s.dropReason {
+		st.DropReasons[r.reason] = r.n
 	}
-	for k, v := range s.shards {
-		st.Shards = append(st.Shards, ShardStats{Channel: k[0], SF: k[1], Uplinks: v.Uplinks, Delivered: v.Delivered})
+	if len(s.chStats) > 0 {
+		st.Shards = make([]ShardStats, 0, len(s.chStats))
 	}
-	sort.Slice(st.Shards, func(i, j int) bool {
-		if st.Shards[i].Channel != st.Shards[j].Channel {
-			return st.Shards[i].Channel < st.Shards[j].Channel
-		}
-		return st.Shards[i].SF < st.Shards[j].SF
-	})
+	for _, c := range s.chStats {
+		st.Shards = append(st.Shards, ShardStats{Channel: c.ch, SF: c.sf, Uplinks: c.Uplinks, Delivered: c.Delivered})
+	}
+	sort.Sort(shardStatsOrder(st.Shards))
 	return st
+}
+
+// shardStatsOrder sorts channel/SF rows for stable reporting.
+type shardStatsOrder []ShardStats
+
+func (s shardStatsOrder) Len() int      { return len(s) }
+func (s shardStatsOrder) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s shardStatsOrder) Less(i, j int) bool {
+	if s[i].Channel != s[j].Channel {
+		return s[i].Channel < s[j].Channel
+	}
+	return s[i].SF < s[j].SF
 }

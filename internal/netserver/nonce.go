@@ -1,0 +1,40 @@
+package netserver
+
+// nonceWindowCap bounds the per-device DevNonce replay history. The old
+// map[uint16]bool grew one entry per join forever; a device that rejoins
+// every few hours would leak state for the lifetime of the server. A fixed
+// ring of the most recent nonces bounds that at a few hundred bytes per
+// device while still refusing any replay of a recently used nonce — the
+// only replays an attacker can actually mount, since LoRaWAN 1.0 DevNonces
+// are random and a recorded join ages out of usefulness with its session.
+// Evictions are counted on tnb_netserver_devnonce_evictions_total.
+const nonceWindowCap = 128
+
+// nonceWindow is a fixed-capacity ring of recently used DevNonces.
+type nonceWindow struct {
+	ring [nonceWindowCap]uint16
+	n    int // live entries
+	pos  int // next write slot
+}
+
+// contains reports whether nonce is in the retained history.
+func (w *nonceWindow) contains(nonce uint16) bool {
+	for i := 0; i < w.n; i++ {
+		if w.ring[i] == nonce {
+			return true
+		}
+	}
+	return false
+}
+
+// add records nonce, evicting the oldest entry when full; it reports
+// whether an eviction happened.
+func (w *nonceWindow) add(nonce uint16) (evicted bool) {
+	evicted = w.n == nonceWindowCap
+	w.ring[w.pos] = nonce
+	w.pos = (w.pos + 1) % nonceWindowCap
+	if !evicted {
+		w.n++
+	}
+	return evicted
+}

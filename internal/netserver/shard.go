@@ -1,0 +1,328 @@
+package netserver
+
+import (
+	"sort"
+	"sync"
+
+	"tnb/internal/lorawan"
+)
+
+// The sharded dedup/commit layer. Ingest routes every data frame to the
+// shard owning its device (shardOf(DevEUI)), so all state a frame's commit
+// reads or writes — the session's frame counter, the device's pending
+// dedup windows — is touched by exactly one committer per batch and shards
+// commit concurrently without fine-grained locking. Anything whose
+// semantics are inherently global (joins, quota buckets, unknown
+// addresses, the trace stream) runs in the serial merge instead; see
+// merge.go for the ordering argument.
+
+// dedupKey is the fixed-size comparable dedup fingerprint of one frame:
+// (DevAddr, FCnt, payload hash) for data, (DevEUI, DevNonce, payload
+// hash) for joins. It replaces the old fmt.Sprintf string keys, which
+// allocated on every uplink.
+type dedupKey struct {
+	join bool
+	id   uint64 // DevAddr (data) or DevEUI (join)
+	ctr  uint32 // FCnt or DevNonce
+	hash uint64 // fnv-1a over the frame bytes
+}
+
+// dedupKeyBytes is the map-key share of the per-entry memory accounting.
+const dedupKeyBytes = 24
+
+// fnv64a is an inline FNV-1a, avoiding the hash.Hash64 allocation of
+// hash/fnv on the per-uplink path.
+func fnv64a(p []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// pendEntry is one frame waiting out its dedup window.
+type pendEntry struct {
+	key         dedupKey
+	seq         uint64  // global arrival index of the first copy
+	first       float64 // receive time of the first copy
+	expiry      float64 // first + window
+	channel, sf int
+	copies      int
+	gateways    []string
+	bestSNR     float64
+	bestGW      string
+	bytes       int64 // dedup-table memory charged for this entry
+
+	// Data frames: the owning session and the still-encrypted payload
+	// (copied, so the caller may reuse its uplink buffers). Decryption is
+	// deferred to delivery — duplicate copies and replays never pay it.
+	sess    *session
+	fcnt    uint16
+	fport   uint8
+	hasPort bool
+	enc     []byte
+
+	// Joins.
+	isJoin   bool
+	dev      *deviceState
+	devNonce uint16
+}
+
+// pendPool recycles pendEntry structs (and their payload buffers) across
+// windows, so the steady state opens and closes dedup windows without
+// allocating.
+var pendPool = sync.Pool{New: func() any { return new(pendEntry) }}
+
+func newPendEntry() *pendEntry { return pendPool.Get().(*pendEntry) }
+
+// recyclePend returns an entry to the pool. The gateways slice is NOT
+// reused — its ownership moves into the emitted Event — and pointers are
+// cleared so the pool does not retain sessions or devices.
+func recyclePend(e *pendEntry) {
+	enc := e.enc[:0]
+	*e = pendEntry{enc: enc}
+	pendPool.Put(e)
+}
+
+// pendOverheadBytes approximates the fixed per-entry cost of the dedup
+// table (entry struct, map slot, queue slot) for the memory gauge.
+const pendOverheadBytes = 160
+
+// pendTable is one lane's dedup state: a seq-ordered FIFO (first times,
+// and therefore expiries, are nondecreasing in seq) plus the key index.
+type pendTable struct {
+	pend  []*pendEntry
+	byKey map[dedupKey]*pendEntry
+	bytes int64
+}
+
+func (pt *pendTable) add(e *pendEntry) {
+	if pt.byKey == nil {
+		// First use of this lane: size the map and queue for a handful of
+		// concurrent windows up front instead of growing through the small
+		// sizes on the first batch.
+		pt.byKey = make(map[dedupKey]*pendEntry, 8)
+		if cap(pt.pend) == 0 {
+			pt.pend = make([]*pendEntry, 0, 8)
+		}
+	}
+	pt.pend = append(pt.pend, e)
+	pt.byKey[e.key] = e
+	pt.bytes += e.bytes
+}
+
+// popHead removes and returns the first pending entry.
+func (pt *pendTable) popHead() *pendEntry {
+	e := pt.pend[0]
+	copy(pt.pend, pt.pend[1:])
+	pt.pend[len(pt.pend)-1] = nil
+	pt.pend = pt.pend[:len(pt.pend)-1]
+	delete(pt.byKey, e.key)
+	pt.bytes -= e.bytes
+	return e
+}
+
+// pendBySeq re-sorts a pend queue by arrival index after a migration
+// splices two seq-sorted runs together.
+type pendBySeq []*pendEntry
+
+func (p pendBySeq) Len() int           { return len(p) }
+func (p pendBySeq) Less(i, j int) bool { return p[i].seq < p[j].seq }
+func (p pendBySeq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+
+// ingestShard is one lock stripe of the dedup table plus its per-batch
+// commit output. During a batch exactly one committer goroutine touches a
+// shard; the mutex makes the hand-off explicit and keeps the stripe safe
+// if a future caller relaxes that discipline.
+type ingestShard struct {
+	mu sync.Mutex
+	pendTable
+	recs []rec  // this batch's merge records, key-ordered by construction
+	dups uint64 // this batch's suppressed copies, summed into nDups at merge
+}
+
+// openEntry charges and registers a first copy in pt, anchoring the dedup
+// window at the item's clock.
+func openEntry(pt *pendTable, e *pendEntry, u *Uplink, ri *routeInfo, window float64) {
+	e.seq = ri.seq
+	e.first = ri.t
+	e.expiry = ri.t + window
+	e.channel, e.sf = u.Channel, u.SF
+	e.copies = 1
+	e.gateways = append(make([]string, 0, 4), u.GatewayID)
+	e.bestSNR, e.bestGW = u.SNRdB, u.GatewayID
+	e.bytes = int64(len(u.Payload)) + dedupKeyBytes + pendOverheadBytes
+	pt.add(e)
+}
+
+// mergeCopyInto folds another gateway's copy into a pending frame, keeping
+// the best-SNR reception (ties break toward the lexicographically smaller
+// gateway so the outcome is order-independent). It returns the dedup-table
+// bytes the new copy added.
+func mergeCopyInto(e *pendEntry, u *Uplink) int64 {
+	e.copies++
+	if u.SNRdB > e.bestSNR || (u.SNRdB == e.bestSNR && u.GatewayID < e.bestGW) {
+		e.bestSNR, e.bestGW = u.SNRdB, u.GatewayID
+	}
+	for _, g := range e.gateways {
+		if g == u.GatewayID {
+			return 0
+		}
+	}
+	e.gateways = append(e.gateways, u.GatewayID)
+	added := int64(len(u.GatewayID))
+	e.bytes += added
+	return added
+}
+
+// commitFast applies one routed fast-lane item to its shard: close every
+// window the item's clock expired, then dedup-match, replay-check or open
+// a window for the item itself. Runs concurrently across shards; items of
+// one shard arrive in batch order.
+func (s *Server) commitFast(sc *lorawan.Scratch, batch []Uplink, i int) {
+	ri := &s.route[i]
+	if ri.class != icFast {
+		return
+	}
+	u := &batch[i]
+	sh := s.shards[ri.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.flushShardLocked(sh, sc, ri.t)
+
+	if !ri.micOK {
+		sh.recs = append(sh.recs, immediateDropRec(u, ri, ReasonBadMIC))
+		return
+	}
+	key := dedupKey{id: uint64(ri.sess.devAddr), ctr: uint32(ri.hdr.FCnt), hash: ri.hash}
+	if e := sh.byKey[key]; e != nil {
+		sh.dups++
+		sh.bytes += mergeCopyInto(e, u)
+		return
+	}
+	if int64(ri.hdr.FCnt) <= ri.sess.lastFCnt {
+		sh.recs = append(sh.recs, immediateDropRec(u, ri, ReasonReplayedFCnt))
+		return
+	}
+	e := newPendEntry()
+	e.key = key
+	e.sess = ri.sess
+	e.fcnt = ri.hdr.FCnt
+	e.fport, e.hasPort = ri.hdr.FPort, ri.hdr.HasPort
+	e.enc = append(e.enc[:0], u.Payload[ri.hdr.PayloadOff:len(u.Payload)-4]...)
+	openEntry(&sh.pendTable, e, u, ri, s.window)
+}
+
+// flushShard closes every window in sh that expired by logical time t,
+// appending the resulting merge records.
+func (s *Server) flushShard(sh *ingestShard, sc *lorawan.Scratch, t float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.flushShardLocked(sh, sc, t)
+}
+
+func (s *Server) flushShardLocked(sh *ingestShard, sc *lorawan.Scratch, t float64) {
+	for len(sh.pend) > 0 && sh.pend[0].expiry <= t {
+		e := sh.popHead()
+		sh.recs = append(sh.recs, s.closeDataEntry(sc, e))
+		recyclePend(e)
+	}
+}
+
+// closeDataEntry closes one data-frame dedup window: the deliver-time
+// session and counter re-checks, the (eager) counter advance, and the
+// payload decryption. It builds the merge record but does NOT touch quota,
+// global counters, metrics or the tracer — those belong to the serial
+// merge, where the record is finalized in global event order. Safe to run
+// concurrently as long as all frames of e's device flow through the same
+// caller (the shard invariant).
+//
+// The counter advance is eager: a frame that later loses its quota toss
+// still burns its FCnt. The serial engine advanced the counter only on
+// accepted deliveries, which let an attacker replay any frame the quota
+// had refused; eager advance closes that and — because a frame's replay
+// status no longer depends on the cross-tenant bucket state — is what
+// makes per-device commit decisions shardable at all (DESIGN.md §14).
+func (s *Server) closeDataEntry(sc *lorawan.Scratch, e *pendEntry) rec {
+	at := e.expiry
+	sort.Strings(e.gateways)
+	sess := e.sess
+	ev := Event{
+		TimeSec: at,
+		Channel: e.channel, SF: e.sf,
+		Gateway: e.bestGW, SNRdB: e.bestSNR,
+		Copies: e.copies, Gateways: e.gateways,
+		DevEUI:  sess.devEUIStr,
+		DevAddr: sess.devAddrStr,
+	}
+	// The world may have moved while the frame waited out its window: a
+	// rejoin replaces the session (old keys are void), and an equal-FCnt
+	// frame with a different payload opens its own window.
+	if cur, ok := s.sessions[sess.devAddr]; !ok || cur != sess {
+		ev.Type, ev.Reason = "drop", ReasonUnknownDevAddr
+		return rec{t: at, seq: e.seq, drop: true, ev: ev}
+	}
+	if int64(e.fcnt) <= sess.lastFCnt {
+		ev.Type, ev.Reason = "drop", ReasonReplayedFCnt
+		return rec{t: at, seq: e.seq, drop: true, ev: ev}
+	}
+	sess.lastFCnt = int64(e.fcnt)
+	var plain []byte
+	if e.hasPort {
+		plain = sess.appKC.CryptPayload(sc, nil, sess.devAddr, uint32(e.fcnt), true, e.enc)
+	}
+	ev.Type = "delivery"
+	ev.FCnt, ev.FPort, ev.Payload = int(e.fcnt), int(e.fport), plain
+	ev.Tenant = sess.tenant
+	return rec{t: at, seq: e.seq, deliver: true, sess: sess, ev: ev}
+}
+
+// migrateToSlow moves every live fast-lane window of the given device into
+// the slow lane. Called at route time when a join for the device appears
+// in the batch: from that point the device's session identity can change
+// mid-batch, so its commits (including deliveries of already-open windows)
+// must run in the serial merge. Caller re-sorts s.slow.pend afterwards.
+func (s *Server) migrateToSlow(eui lorawan.EUI) {
+	dev := s.devices[eui]
+	if dev == nil || dev.sess == nil {
+		return
+	}
+	sh := s.shards[dev.sess.shard]
+	if len(sh.pend) == 0 {
+		return
+	}
+	moved := 0
+	keep := sh.pend[:0]
+	for _, e := range sh.pend {
+		if !e.isJoin && e.sess.devEUI == eui {
+			delete(sh.byKey, e.key)
+			sh.bytes -= e.bytes
+			s.slow.add(e)
+			s.slowDevs[eui]++
+			moved++
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	for i := len(keep); i < len(sh.pend); i++ {
+		sh.pend[i] = nil
+	}
+	sh.pend = keep
+	if moved > 0 {
+		s.met.onShardMigrated(moved)
+	}
+}
+
+// shardOf maps a device to its lock stripe. FNV over the EUI bytes spreads
+// sequentially provisioned devices evenly.
+func (s *Server) shardOf(eui lorawan.EUI) int {
+	h := uint64(14695981039346656037)
+	v := uint64(eui)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= 1099511628211
+		v >>= 8
+	}
+	return int(h % uint64(s.nshards))
+}

@@ -1,0 +1,250 @@
+package netserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tnb/internal/lorawan"
+	"tnb/internal/metrics"
+)
+
+// TestDeterministicAcrossShards widens the determinism pin to the sharded
+// engine: a batch large enough to take the pipelined path (parallel verify
+// feeding concurrent shard committers) must produce the byte-identical
+// event stream at every shard count × worker width, against the serial
+// single-shard run.
+func TestDeterministicAcrossShards(t *testing.T) {
+	var devs []Device
+	for i := 1; i <= 12; i++ {
+		devs = append(devs, testDevice(i))
+	}
+	run := func(shards, workers, chunk int) []byte {
+		s := mustServer(t, Config{Devices: devs, Workers: workers, Shards: shards})
+		batch := buildMixedBatch(t, devs)
+		if len(batch) < pipelineMinBatch {
+			t.Fatalf("batch of %d items too small to exercise the pipelined path", len(batch))
+		}
+		var evs []Event
+		for i := 0; i < len(batch); i += chunk {
+			end := i + chunk
+			if end > len(batch) {
+				end = len(batch)
+			}
+			evs = append(evs, ingest(t, s, batch[i:end]...)...)
+		}
+		evs = append(evs, flush(t, s)...)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	want := run(1, 1, 1<<30)
+	if !bytes.Contains(want, []byte(`"type":"join"`)) || !bytes.Contains(want, []byte(`"type":"delivery"`)) {
+		t.Fatalf("reference run missing joins or deliveries:\n%s", want)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 2, 4} {
+			for _, chunk := range []int{5, 1 << 30} {
+				if got := run(shards, workers, chunk); !bytes.Equal(got, want) {
+					t.Errorf("shards=%d workers=%d chunk=%d diverged from the serial run", shards, workers, chunk)
+				}
+			}
+		}
+	}
+}
+
+// TestIngestSteadyStateAllocs pins the allocation budget of the fast path:
+// an activated device streaming data frames. The per-uplink cost is one
+// decrypted payload, one gateways slice and the event itself — the dedup
+// entries, crypto scratch, route state and merge records are all pooled or
+// capacity-reused. The ceiling is deliberately loose (amortized slice
+// growth and map resizes land unevenly) but far below the old engine's
+// ~30 allocs per uplink.
+func TestIngestSteadyStateAllocs(t *testing.T) {
+	dev := testDevice(1)
+	s := mustServer(t, Config{Devices: []Device{dev}, Workers: 1, DedupWindowSec: -1})
+	addr, nwk, app, at := activateAt(t, s, dev, 1, 0)
+
+	const batchSize = 16
+	const runs = 60
+	wires := make([][]byte, 0, batchSize*(runs+2))
+	for fcnt := 1; fcnt <= batchSize*(runs+2); fcnt++ {
+		wires = append(wires, dataWire(t, addr, uint16(fcnt), nwk, app, []byte("steady-state")))
+	}
+	batch := make([]Uplink, batchSize)
+	next := 0
+	feed := func() {
+		for i := range batch {
+			at += 0.01
+			batch[i] = Uplink{GatewayID: "gw-a", Channel: 1, SF: 7, TimeSec: at, SNRdB: 5, Payload: wires[next]}
+			next++
+		}
+		evs, err := s.Ingest(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) == 0 {
+			t.Fatal("steady-state batch produced no events")
+		}
+	}
+	feed() // warm the pools and capacity-reused scratch
+	perBatch := testing.AllocsPerRun(runs, feed)
+	perUplink := perBatch / batchSize
+	if perUplink > 4 {
+		t.Errorf("steady-state Ingest allocates %.1f/uplink (%.0f/batch), want <= 4", perUplink, perBatch)
+	}
+}
+
+// activateAt joins dev at logical time `at` and returns its session
+// identity, keys, and the clock after activation.
+func activateAt(t testing.TB, s *Server, dev Device, nonce uint16, at float64) (lorawan.DevAddr, []byte, []byte, float64) {
+	t.Helper()
+	evs := ingest(t, s, Uplink{GatewayID: "gw-a", TimeSec: at, SNRdB: 1, Payload: joinWire(t, dev, nonce)})
+	more, err := s.AdvanceTo(at + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs = append(evs, more...)
+	var join *Event
+	for i := range evs {
+		if evs[i].Type == "join" {
+			join = &evs[i]
+		}
+	}
+	if join == nil {
+		t.Fatalf("no join event in %+v", evs)
+	}
+	acc, err := lorawan.ParseJoinAccept(join.JoinAccept, dev.AppKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwk, app, err := lorawan.DeriveSessionKeys(dev.AppKey, acc.AppNonce, acc.NetID, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc.DevAddr, nwk, app, at + 1
+}
+
+// TestDevNonceEviction: the per-device DevNonce history is a bounded ring.
+// Filling it past nonceWindowCap evicts the oldest nonce (counted on the
+// eviction metric), after which that nonce joins again instead of being
+// refused — while a recent nonce is still refused as replayed_devnonce.
+func TestDevNonceEviction(t *testing.T) {
+	dev := testDevice(1)
+	reg := metrics.NewRegistry()
+	met := NewMetrics(reg)
+	s := mustServer(t, Config{Devices: []Device{dev}, Workers: 1, DedupWindowSec: -1, Metrics: met})
+
+	at := 0.0
+	join := func(nonce uint16) []Event {
+		at += 1
+		return ingest(t, s, Uplink{GatewayID: "gw-a", TimeSec: at, Payload: joinWire(t, dev, nonce)})
+	}
+	for n := 1; n <= nonceWindowCap; n++ {
+		join(uint16(n))
+	}
+	if got := met.NonceEvicted.Value(); got != 0 {
+		t.Fatalf("evictions after filling the window = %d, want 0", got)
+	}
+	// A recent nonce is refused.
+	evs := join(uint16(nonceWindowCap))
+	if len(evs) != 1 || evs[0].Reason != ReasonReplayedDevNonce {
+		t.Fatalf("recent nonce reuse = %+v, want replayed_devnonce", evs)
+	}
+	// One more distinct nonce evicts nonce 1...
+	join(uint16(nonceWindowCap + 1))
+	if got := met.NonceEvicted.Value(); got != 1 {
+		t.Fatalf("evictions after overflow = %d, want 1", got)
+	}
+	// ...so nonce 1 is no longer remembered and joins again.
+	evs = join(1)
+	if len(evs) != 1 || evs[0].Type != "join" {
+		t.Fatalf("evicted nonce reuse = %+v, want a join", evs)
+	}
+}
+
+// TestConcurrentStatsSoak drives Ingest/AdvanceTo/Flush from one goroutine
+// while others hammer Stats; run under -race it proves the ops surface
+// never observes a half-committed batch.
+func TestConcurrentStatsSoak(t *testing.T) {
+	var devs []Device
+	for i := 1; i <= 6; i++ {
+		devs = append(devs, testDevice(i))
+	}
+	s := mustServer(t, Config{Devices: devs, Workers: 4, Shards: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if got := st.Joins + st.Delivered + st.Dropped + st.DupSuppressed; got > st.Uplinks {
+					t.Errorf("stats snapshot inconsistent: %+v", st)
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 20; round++ {
+		batch := buildMixedBatch(t, devs)
+		for i := range batch {
+			batch[i].TimeSec += float64(round) * 10
+		}
+		if _, err := s.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AdvanceTo(float64(round)*10 + 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	st := s.Stats()
+	if st.DedupPending != 0 || st.DedupBytes != 0 {
+		t.Errorf("dedup table not drained: %+v", st)
+	}
+	if st.Joins == 0 || st.Delivered == 0 {
+		t.Errorf("soak lost coverage: %+v", st)
+	}
+}
+
+// TestShardCountIndependence: the same traffic through every shard count
+// leaves identical externally visible state (stats counters), not just
+// identical events.
+func TestShardCountIndependence(t *testing.T) {
+	var devs []Device
+	for i := 1; i <= 5; i++ {
+		devs = append(devs, testDevice(i))
+	}
+	snap := func(shards int) string {
+		s := mustServer(t, Config{Devices: devs, Workers: 2, Shards: shards})
+		ingest(t, s, buildMixedBatch(t, devs)...)
+		flush(t, s)
+		st := s.Stats()
+		st.StateShards = 0 // the one field that legitimately differs
+		return fmt.Sprintf("%+v", st)
+	}
+	want := snap(1)
+	for _, shards := range []int{4, 16} {
+		if got := snap(shards); got != want {
+			t.Errorf("shards=%d stats diverged:\n got %s\nwant %s", shards, got, want)
+		}
+	}
+}

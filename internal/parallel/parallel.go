@@ -114,6 +114,86 @@ func ForEachChunks(workers, n int, fn func(worker, lo, hi int)) Stats {
 	return st
 }
 
+// ForEachChunksOrdered runs fn over [0, n) in fixed-size chunks on up to
+// `workers` goroutines, and additionally calls done(lo, hi) for every chunk
+// — serially, in ascending chunk order, as soon as the contiguous prefix of
+// completed chunks extends past it. It is the pipelining primitive: fn is
+// the parallel stage, done hands each in-order prefix to a downstream
+// consumer (e.g. bounded commit queues) while later chunks are still being
+// computed, instead of barriering on the whole range.
+//
+// done runs under an internal mutex on whichever worker completed the
+// prefix; it may block (e.g. on a bounded channel) without deadlocking fn
+// workers only if whatever drains that channel runs on other goroutines.
+// With workers <= 1 (or a single chunk) everything runs inline on the
+// calling goroutine: fn then done per chunk, in order.
+func ForEachChunksOrdered(workers, n, chunk int, fn func(worker, lo, hi int), done func(lo, hi int)) Stats {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nchunks := (n + chunk - 1) / chunk
+	workers = Workers(workers)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	bounds := func(c int) (int, int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	if workers <= 1 {
+		t0 := time.Now()
+		for c := 0; c < nchunks; c++ {
+			lo, hi := bounds(c)
+			fn(0, lo, hi)
+			done(lo, hi)
+		}
+		wall := time.Since(t0)
+		return Stats{Wall: wall, Busy: wall, Workers: 1}
+	}
+
+	t0 := time.Now()
+	var cursor atomic.Int64
+	var mu sync.Mutex
+	completed := make([]bool, nchunks)
+	frontier := 0
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= nchunks {
+					break
+				}
+				lo, hi := bounds(c)
+				fn(w, lo, hi)
+				mu.Lock()
+				completed[c] = true
+				for frontier < nchunks && completed[frontier] {
+					flo, fhi := bounds(frontier)
+					done(flo, fhi)
+					frontier++
+				}
+				mu.Unlock()
+			}
+			busy[w] = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	st := Stats{Wall: time.Since(t0), Workers: workers}
+	for _, b := range busy {
+		st.Busy += b
+	}
+	return st
+}
+
 func ForEach(workers, n int, fn func(worker, i int)) Stats {
 	workers = Workers(workers)
 	if workers > n {

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -166,5 +167,82 @@ func TestStatsPermille(t *testing.T) {
 	var zero Stats
 	if zero.SpeedupPermille() != 1000 || zero.UtilizationPermille() != 1000 {
 		t.Fatal("zero Stats should report neutral 1000 permille")
+	}
+}
+
+// TestForEachChunksOrderedPrefixOrder: done is called exactly once per
+// chunk, in ascending order, and only after fn completed that chunk —
+// at every worker width, including partial final chunks.
+func TestForEachChunksOrderedPrefixOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 64, 101} {
+			for _, chunk := range []int{1, 3, 16, 1000} {
+				var mu sync.Mutex
+				computed := make(map[int]bool)
+				var doneOrder []int
+				ForEachChunksOrdered(workers, n, chunk, func(_, lo, hi int) {
+					if hi <= lo || hi > n {
+						t.Fatalf("fn range [%d,%d) out of bounds n=%d", lo, hi, n)
+					}
+					mu.Lock()
+					for i := lo; i < hi; i++ {
+						computed[i] = true
+					}
+					mu.Unlock()
+				}, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						if !computed[i] {
+							t.Errorf("done([%d,%d)) before fn computed %d", lo, hi, i)
+						}
+					}
+					doneOrder = append(doneOrder, lo)
+				})
+				next := 0
+				for _, lo := range doneOrder {
+					if lo != next {
+						t.Fatalf("workers=%d n=%d chunk=%d: done order %v not the ascending chunk sequence", workers, n, chunk, doneOrder)
+					}
+					next = lo + chunk
+					if next > n {
+						next = n
+					}
+				}
+				if next != n {
+					t.Fatalf("workers=%d n=%d chunk=%d: done covered [0,%d), want [0,%d)", workers, n, chunk, next, n)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachChunksOrderedPipelines: done hands prefixes to a consumer
+// goroutine through a bounded channel while later chunks are still being
+// computed — the netserver's verify→commit shape. The consumer must see
+// every index exactly once, in order.
+func TestForEachChunksOrderedPipelines(t *testing.T) {
+	const n = 500
+	q := make(chan int, 4) // deliberately tiny: done blocks, consumer drains
+	var got []int
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for i := range q {
+			got = append(got, i)
+		}
+	}()
+	ForEachChunksOrdered(4, n, 7, func(_, lo, hi int) {}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q <- i
+		}
+	})
+	close(q)
+	<-consumerDone
+	if len(got) != n {
+		t.Fatalf("consumer saw %d indexes, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("consumer order broke at position %d: got %d", i, v)
+		}
 	}
 }
