@@ -28,6 +28,7 @@ import (
 	"tnb/internal/core"
 	"tnb/internal/lora"
 	"tnb/internal/obs"
+	"tnb/internal/stagegraph"
 	"tnb/internal/thrive"
 	"tnb/internal/trace"
 	"tnb/internal/tracestore"
@@ -44,6 +45,7 @@ func main() {
 		traceStore = flag.String("trace-store", "", "persist decode traces in an indexed on-disk ring at this directory (query with tnbtrace -store)")
 		explain    = flag.Int("explain", -2, "print the decode trace of packet N (start order, decoded and failed); -1 lists all packets")
 		workers    = flag.Int("workers", 0, "receiver worker-pool width (0 = all cores, 1 = serial); output is identical for every value")
+		record     = flag.String("record", "", "snapshot every stage boundary to a replayable recording at this file (inspect with tnbreplay)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the decode to this file")
 	)
 	flag.Parse()
@@ -111,8 +113,19 @@ func main() {
 		cfg.Tracer = tracer
 	}
 
+	var rec *stagegraph.Recorder
+	if *record != "" {
+		rec = stagegraph.NewRecorder()
+		cfg.Recorder = rec
+	}
+
 	rx := core.NewReceiver(cfg)
 	decoded := rx.Decode(tr)
+	if rec != nil {
+		if err := rec.WriteFile(*record); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+	}
 	sort.Slice(decoded, func(i, j int) bool { return decoded[i].Start < decoded[j].Start })
 
 	fmt.Printf("- TnB decoded %d pkts -\n", len(decoded))

@@ -1,0 +1,112 @@
+// tnbreplay inspects and replays stage recordings produced by
+// `tnbdecode -record` (or any pipeline with a stagegraph.Recorder attached).
+//
+// Without -stage it prints the recording summary: parameters, windows,
+// passes, the boundaries each pass captured, and the decode outcomes at the
+// bec boundary. With -stage it re-runs that one stage — the real
+// implementation, fed the boundary inputs reconstructed from the recording —
+// and diffs its output against the recorded boundary. A clean stage yields
+// an empty diff; after an end-to-end golden break, replaying each stage in
+// order bisects which one diverged.
+//
+// Usage:
+//
+//	tnbreplay rec.tnbsgr                        # summary
+//	tnbreplay -stage thrive rec.tnbsgr          # replay one stage, diff
+//	tnbreplay -stage all rec.tnbsgr             # replay every boundary
+//	tnbreplay -stage bec -pass 2 -workers 4 rec.tnbsgr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tnb/internal/stagegraph"
+)
+
+func main() {
+	var (
+		stage   = flag.String("stage", "", "stage to replay: detect | sigcalc | thrive | bec | all (empty = print summary)")
+		window  = flag.Int("window", 0, "window index to replay")
+		pass    = flag.Int("pass", 1, "decoding pass to replay (1 or 2)")
+		workers = flag.Int("workers", 0, "pipeline width for the replayed stage (0 = all cores); boundaries are identical for every value")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tnbreplay [flags] <recording>")
+		os.Exit(2)
+	}
+	rec, err := stagegraph.LoadRecording(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *stage {
+	case "":
+		summarize(rec)
+	case "all":
+		diffs, err := rec.ReplayChain(*workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bad := 0
+		for _, d := range diffs {
+			fmt.Println(d)
+			if !d.Match {
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Printf("%d/%d boundaries diverged\n", bad, len(diffs))
+			os.Exit(1)
+		}
+		fmt.Printf("all %d boundaries match\n", len(diffs))
+	default:
+		d, err := rec.Replay(stagegraph.ReplayOptions{
+			Window: *window, Pass: *pass, Stage: *stage, Workers: *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(d)
+		if !d.Match {
+			os.Exit(1)
+		}
+	}
+}
+
+// summarize prints the recording's header, windows, passes and outcomes.
+func summarize(rec *stagegraph.Recording) {
+	h := rec.Header
+	fmt.Printf("recording v%d: SF%d CR%d BW %.0f OSF %d", h.Version, h.SF, h.CR, h.Bandwidth, h.OSF)
+	if h.UseBEC {
+		fmt.Printf(" BEC(W=%d)", h.W)
+	}
+	fmt.Printf(" seed %d\n", h.Seed)
+	for wi, rw := range rec.Windows {
+		fmt.Printf("window %d: %d antennas x %d samples, %d pass(es)\n",
+			wi, len(rw.Antennas), len(rw.Antennas[0]), len(rw.Passes))
+		for _, rp := range rw.Passes {
+			fmt.Printf("  pass %d: boundaries %v\n", rp.Pass, rp.Stages())
+			if dets, err := rp.Detections(); err == nil {
+				for i, pk := range dets {
+					fmt.Printf("    det %d: start %.2f cfo %.4f quality %.3g\n", i, pk.Start, pk.CFOCycles, pk.Quality)
+				}
+			}
+			outs, err := rp.Outcomes()
+			if err != nil {
+				continue
+			}
+			for _, o := range outs {
+				verdict := "failed"
+				if o.OK {
+					verdict = fmt.Sprintf("decoded %d bytes (SNR %.1f dB, rescued %d)",
+						len(o.Dec.Payload), o.Dec.SNRdB, o.Dec.Rescued)
+				}
+				fmt.Printf("    pkt %d: %s\n", o.DetIdx, verdict)
+			}
+		}
+	}
+}

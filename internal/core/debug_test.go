@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"tnb/internal/detect"
 	"tnb/internal/lora"
 	"tnb/internal/peaks"
 	"tnb/internal/thrive"
@@ -18,8 +19,8 @@ func TestDebugPipeline(t *testing.T) {
 		{start: 20000.4, snr: 12, cfo: 2100, payload: payloadOf(1)},
 		{start: 20000.4 + 11.5*sym, snr: 7, cfo: -3300, payload: payloadOf(2)},
 	})
-	r := NewReceiver(Config{Params: p, UseBEC: true})
-	pkts := r.detector.Detect(tr.Antennas)
+	det := detect.NewDetector(p)
+	pkts := det.Detect(tr.Antennas)
 	t.Logf("detected %d packets", len(pkts))
 	for i, pk := range pkts {
 		t.Logf("pkt %d: start %.2f cfo %.4f", i, pk.Start, pk.CFOCycles)
@@ -27,9 +28,26 @@ func TestDebugPipeline(t *testing.T) {
 	for _, rec := range recs {
 		t.Logf("true: start %.2f cfo %.4f len %d", rec.StartSample, rec.CFOHz*p.SymbolDuration(), len(rec.Shifts))
 	}
+	newCalc := func(pk detect.Packet) *peaks.Calculator {
+		lay, err := lora.NewLayout(p, 48)
+		maxSyms := 0
+		if err == nil {
+			maxSyms = lay.DataSymbols
+		}
+		dataStart := pk.Start + (lora.PreambleUpchirps+lora.SyncSymbols+
+			float64(lora.DownchirpQuarters)/4)*float64(p.SymbolSamples())
+		avail := int((float64(tr.Len()) - dataStart) / float64(p.SymbolSamples()))
+		if avail < 0 {
+			avail = 0
+		}
+		if maxSyms == 0 || avail < maxSyms {
+			maxSyms = avail
+		}
+		return peaks.NewCalculator(det.Demodulator(), tr.Antennas, pk.Start, pk.CFOCycles, maxSyms)
+	}
 	states := make([]*thrive.PacketState, len(pkts))
 	for i, pk := range pkts {
-		states[i] = thrive.NewPacketState(i, r.newCalc(tr.Antennas, pk, tr.Len()))
+		states[i] = thrive.NewPacketState(i, newCalc(pk))
 	}
 	engine := thrive.NewEngine(p, thrive.Config{})
 	engine.Run(states, tr.Len())

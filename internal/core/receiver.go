@@ -2,555 +2,45 @@
 // per-packet signal calculation, Thrive peak assignment, and BEC decoding,
 // including the second decoding pass that masks the peaks of packets
 // decoded in the first attempt (paper §4).
+//
+// The pipeline itself lives in internal/stagegraph as an explicit stage
+// graph (detect → sigcalc → thrive → bec) with a deterministic scheduler
+// and a record/replay harness; this package re-exports it under the names
+// the rest of the repository — gateway, stream, sim, the cmds — has always
+// used. The aliases are exact: core.Receiver IS stagegraph.Pipeline.
 package core
 
 import (
-	"math"
-	"math/rand"
-	"sort"
-
-	"tnb/internal/bec"
-	"tnb/internal/detect"
-	"tnb/internal/lora"
-	"tnb/internal/obs"
-	"tnb/internal/parallel"
-	"tnb/internal/peaks"
-	"tnb/internal/stats"
-	"tnb/internal/thrive"
-	"tnb/internal/trace"
+	"tnb/internal/metrics"
+	"tnb/internal/stagegraph"
 )
 
 // Config selects the receiver variant. The zero value of optional fields
-// picks the paper's settings.
-type Config struct {
-	Params lora.Params
-	// Policy selects the peak-assignment algorithm: Thrive (default),
-	// Sibling (no history cost) or AlignTrack* (baseline).
-	Policy thrive.Policy
-	// UseBEC enables Block Error Correction; false uses the default
-	// per-codeword Hamming decoder (the "Thrive" configuration of §8.4).
-	UseBEC bool
-	// SecondPass re-decodes failed packets with decoded packets' peaks
-	// masked (paper §4). Default on; set DisableSecondPass to turn off.
-	DisableSecondPass bool
-	// W caps BEC's packet CRC tests; 0 selects the paper's defaults.
-	W int
-	// MaxPayloadLen bounds the provisional packet length before the PHY
-	// header is decoded. 0 defaults to 48 bytes.
-	MaxPayloadLen int
-	// Omega overrides the history-cost weight ω (0 → paper's 0.1).
-	Omega float64
-	// ListDecode retries a failed packet with Thrive's runner-up peak
-	// substituted one symbol at a time — a list-decoding extension in the
-	// spirit of the papers §2 cites ([16, 17]), applied per collided
-	// packet. Off by default to match the paper's configuration.
-	ListDecode bool
-	// ListDecodeBudget caps the substitution attempts per packet
-	// (0 → 24).
-	ListDecodeBudget int
-	// Seed drives BEC's random candidate sampling. Each packet gets its own
-	// deterministic stream derived from (Seed, pass, packet index), so the
-	// sampling is independent of decode order and worker count.
-	Seed int64
-	// Workers caps the goroutines used by the parallel pipeline stages
-	// (candidate refinement, signal-vector prefill, packet decoding).
-	// 0 uses GOMAXPROCS; 1 runs fully serial. The decoded output is
-	// byte-identical for every value.
-	Workers int
-	// Metrics receives per-stage latencies and pipeline counters; nil
-	// disables instrumentation (the sample path is then a nil check).
-	// Use DefaultPipelineMetrics() to record into the process registry.
-	Metrics *PipelineMetrics
-	// Tracer receives one structured decode trace per detected packet
-	// (internal/obs): detection parameters, per-symbol assignment
-	// decisions, BEC block outcomes, and a failure reason. Nil disables
-	// tracing; the hot path is then a nil check per packet.
-	Tracer *obs.Tracer
-	// FaultCFOBiasCycles shifts every detection's CFO estimate by this
-	// many cycles per symbol. It is a fault-injection hook for the
-	// failure-attribution tests — it corrupts dechirping the way a wrong
-	// sync lock would — and must stay zero in production.
-	FaultCFOBiasCycles float64
-}
+// picks the paper's settings. See stagegraph.Config for field docs.
+type Config = stagegraph.Config
 
 // Decoded is one successfully decoded packet.
-type Decoded struct {
-	Payload   []uint8
-	Header    lora.Header
-	Start     float64 // packet start in rx samples
-	CFOCycles float64
-	SNRdB     float64 // estimated from preamble peaks vs the noise floor
-	Rescued   int     // codewords fixed beyond the default decoder
-	Pass      int     // 1 or 2 (second decoding attempt)
-	// DataSymbols is the packet's on-air data symbol count, derived from
-	// the decoded PHY header (LDRO-aware), and AirtimeSec the full on-air
-	// time including the preamble — the fields reports and trace
-	// summaries share.
-	DataSymbols int
-	AirtimeSec  float64
-	// Trace is the packet's decode trace when the receiver has a Tracer.
-	Trace *obs.PacketTrace
-}
+type Decoded = stagegraph.Decoded
 
 // Receiver is the TnB gateway-side decoder. Create with NewReceiver; a
 // Receiver may be reused across traces but is not safe for concurrent use.
-type Receiver struct {
-	cfg      Config
-	detector *detect.Detector
-	demod    *lora.Demodulator
-	met      *PipelineMetrics
-	obs      *obs.Tracer
-	// engine and calcs persist across Decode calls: the Thrive engine's
-	// symbol pool and the calculators' signal-vector arenas are the decode
-	// loop's two big recurring allocations, and reusing them makes the
-	// steady-state loop allocation-light (pinned by the alloc-ceiling test).
-	engine *thrive.Engine
-	calcs  peaks.CalcPool
-}
+type Receiver = stagegraph.Pipeline
+
+// PipelineMetrics instruments the receiver pipeline of Fig. 3. All methods
+// are safe on a nil receiver, so an un-instrumented Receiver pays only a
+// nil check per stage.
+type PipelineMetrics = stagegraph.PipelineMetrics
 
 // NewReceiver builds a receiver for the parameter set in cfg.
-func NewReceiver(cfg Config) *Receiver {
-	if cfg.MaxPayloadLen == 0 {
-		cfg.MaxPayloadLen = 48
-	}
-	d := detect.NewDetector(cfg.Params)
-	d.Trace = cfg.Tracer
-	d.CFOBiasCycles = cfg.FaultCFOBiasCycles
-	d.Workers = cfg.Workers
-	return &Receiver{
-		cfg:      cfg,
-		detector: d,
-		demod:    d.Demodulator(),
-		met:      cfg.Metrics,
-		obs:      cfg.Tracer,
-		engine:   thrive.NewEngine(cfg.Params, thrive.Config{Policy: cfg.Policy, Omega: cfg.Omega}),
-	}
+func NewReceiver(cfg Config) *Receiver { return stagegraph.New(cfg) }
+
+// NewPipelineMetrics registers the pipeline instruments on reg.
+func NewPipelineMetrics(reg *metrics.Registry) *PipelineMetrics {
+	return stagegraph.NewPipelineMetrics(reg)
 }
 
-// packetRNG returns the BEC sampling source for one packet of one pass.
-// Seeding per (pass, packet) instead of sharing one stream across packets
-// makes the rare random-sampling fallback independent of decode order, which
-// is what lets decodeAssigned fan out without changing its output.
-func (r *Receiver) packetRNG(pass, idx int) *rand.Rand {
-	return rand.New(rand.NewSource(r.cfg.Seed + 1 + int64(pass)*1_000_003 + int64(idx)*7919))
-}
-
-// prefillWorkers splits the pool across npkts packets: packets are the outer
-// fan-out, and when the pool is wider than the packet count the remainder
-// accelerates each packet's own vector prefill.
-func prefillWorkers(workers, npkts int) int {
-	if npkts <= 0 || workers <= npkts {
-		return 1
-	}
-	return (workers + npkts - 1) / npkts
-}
-
-// Decode runs the full pipeline on a trace and returns the decoded packets
-// in start-time order.
-func (r *Receiver) Decode(tr *trace.Trace) []Decoded {
-	return r.DecodeSamples(tr.Antennas)
-}
-
-// DecodeSamples is Decode for raw per-antenna sample slices.
-func (r *Receiver) DecodeSamples(antennas [][]complex128) []Decoded {
-	r.met.onPoolWorkers(parallel.Workers(r.cfg.Workers))
-	t0 := r.met.now()
-	pkts := r.detector.Detect(antennas)
-	r.met.observeDetect(t0)
-	r.met.onScanParallel(r.detector.ScanStats)
-	r.met.onRefineParallel(r.detector.RefineStats)
-	r.met.onDetected(len(pkts))
-	if len(pkts) == 0 {
-		return nil
-	}
-	traceLen := len(antennas[0])
-
-	// Stage 2: per-packet calculators, prefilled so every later SigVec read
-	// — Thrive, SNR estimation, list decoding — is a pure cached read.
-	// Calculators come from the pool (drawn serially; the cursor is not
-	// goroutine-safe), then packets fan out across the worker pool for the
-	// prefill; leftover width speeds up each packet's own prefill. Traces
-	// are opened serially afterwards so the tracer sees packets in
-	// detection order.
-	r.calcs.Rewind()
-	window := r.obs.NextWindow()
-	t0 = r.met.now()
-	inner := prefillWorkers(parallel.Workers(r.cfg.Workers), len(pkts))
-	states := make([]*thrive.PacketState, len(pkts))
-	calcs := make([]*peaks.Calculator, len(pkts))
-	for i := range pkts {
-		calcs[i] = r.newCalc(antennas, pkts[i], traceLen)
-	}
-	sigSt := parallel.ForEach(r.cfg.Workers, len(pkts), func(_, i int) {
-		calcs[i].Prefill(inner)
-		states[i] = thrive.NewPacketState(i, calcs[i])
-	})
-	for i := range states {
-		states[i].Trace = r.newTrace(window, i, 1, pkts[i], states[i])
-	}
-	r.met.observeSigCalc(t0)
-	r.met.onSigCalcParallel(sigSt)
-
-	// Thrive's greedy assignment is order-dependent by design and stays
-	// serial; with prefilled calculators it only does pure reads.
-	t0 = r.met.now()
-	r.engine.Run(states, traceLen)
-	r.met.observeThrive(t0)
-
-	// Stage 4: decode every assigned packet concurrently into indexed
-	// slots, then merge in detection order.
-	type outcome struct {
-		dec Decoded
-		ok  bool
-	}
-	results := make([]outcome, len(states))
-	decSt := parallel.ForEach(r.cfg.Workers, len(states), func(_, i int) {
-		dec, ok := r.decodeAssigned(states[i], pkts[i], 1, i)
-		results[i] = outcome{dec: dec, ok: ok}
-	})
-	r.met.onDecodeParallel(decSt)
-
-	var out []Decoded
-	decodedIdx := map[int]bool{}
-	for i, res := range results {
-		if res.ok {
-			out = append(out, res.dec)
-			decodedIdx[i] = true
-		}
-	}
-
-	retrying := !r.cfg.DisableSecondPass && len(decodedIdx) > 0 && len(decodedIdx) < len(states)
-	for i, st := range states {
-		if pt := st.Trace; pt != nil {
-			// A pass-1 failure about to be retried is not the packet's
-			// final verdict.
-			pt.Final = decodedIdx[i] || !retrying
-			r.obs.Finish(pt)
-		}
-	}
-	if retrying {
-		out = append(out, r.secondPass(antennas, pkts, states, decodedIdx, traceLen, window)...)
-	}
-	return out
-}
-
-// newTrace opens the packet's decode trace; nil without a tracer.
-func (r *Receiver) newTrace(window uint64, id, pass int, pk detect.Packet, st *thrive.PacketState) *obs.PacketTrace {
-	if r.obs == nil {
-		return nil
-	}
-	start := math.Floor(pk.Start)
-	pt := r.obs.NewPacket(window, id, pass, obs.Detection{
-		StartSample: int(start),
-		FracTiming:  pk.Start - start,
-		CFOCycles:   pk.CFOCycles,
-		CFOHz:       pk.CFOCycles / r.cfg.Params.SymbolDuration(),
-		Quality:     pk.Quality,
-		SNRdB:       r.estimateSNR(st),
-	})
-	pt.SyncScore = r.syncScore(st)
-	pt.InitSymbols(st.Calc.NumData())
-	return pt
-}
-
-// syncScore measures how well the estimated sync explains the preamble: the
-// fraction of upchirps whose signal-vector maximum lands within ±1 bin of
-// bin 0. A correct lock scores near 1; a wrong timing/CFO lock scatters the
-// maxima and scores near 0.
-func (r *Receiver) syncScore(st *thrive.PacketState) float64 {
-	n := r.cfg.Params.N()
-	total, hits := 0, 0
-	for k := 0; k < lora.PreambleUpchirps; k++ {
-		idx := k - (lora.PreambleUpchirps + lora.SyncSymbols)
-		if !st.Calc.InRange(idx) {
-			continue
-		}
-		total++
-		hb := peaks.HighestBin(st.Calc.SigVec(idx))
-		if hb <= 1 || hb >= n-1 {
-			hits++
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(hits) / float64(total)
-}
-
-// newCalc draws a pooled signal-vector calculator with a provisional symbol
-// count (the true count is learned from the PHY header after assignment).
-// The pool cursor is not goroutine-safe: call serially, before any fan-out.
-func (r *Receiver) newCalc(antennas [][]complex128, pk detect.Packet, traceLen int) *peaks.Calculator {
-	p := r.cfg.Params
-	lay, err := lora.NewLayout(p, r.cfg.MaxPayloadLen)
-	maxSyms := 0
-	if err == nil {
-		maxSyms = lay.DataSymbols
-	}
-	dataStart := pk.Start + (lora.PreambleUpchirps+lora.SyncSymbols+
-		float64(lora.DownchirpQuarters)/4)*float64(p.SymbolSamples())
-	avail := int((float64(traceLen) - dataStart) / float64(p.SymbolSamples()))
-	if avail < 0 {
-		avail = 0
-	}
-	if maxSyms == 0 || avail < maxSyms {
-		maxSyms = avail
-	}
-	return r.calcs.Get(r.demod, antennas, pk.Start, pk.CFOCycles, maxSyms)
-}
-
-// decodeAssigned turns a packet's assigned peak bins into a payload. idx is
-// the packet's detection index, which seeds its BEC sampling stream. It runs
-// concurrently across packets: everything it touches is either per-packet
-// (state, trace, rng), atomic (metrics), or a pure read (prefilled
-// calculator, shared demodulator).
-func (r *Receiver) decodeAssigned(st *thrive.PacketState, pk detect.Packet, pass, idx int) (Decoded, bool) {
-	t0 := r.met.now()
-	defer r.met.observeDecode(t0)
-	rng := r.packetRNG(pass, idx)
-	p := r.cfg.Params
-	shifts := make([]int, len(st.Assigned))
-	for i, b := range st.Assigned {
-		if b >= 0 {
-			shifts[i] = b
-		}
-	}
-	if len(shifts) < lora.HeaderSymbols {
-		st.Trace.Fail(obs.FailTooShort)
-		return Decoded{}, false
-	}
-
-	var hdr lora.Header
-	var payload []uint8
-	rescued := 0
-	// Failure-attribution evidence, accumulated across decode attempts.
-	var becInfo bec.PacketResult
-	attempts := 0
-	decodeOnce := func(sh []int) (lora.Header, []uint8, int, bool) {
-		attempts++
-		if r.cfg.UseBEC {
-			pd := bec.NewPacketDecoder(r.cfg.W, rng)
-			if attempts == 1 {
-				// Block outcomes are traced for the first attempt only;
-				// list-decode retries would append duplicate rows.
-				pd.Trace = st.Trace
-			}
-			res := pd.DecodePacket(p, sh)
-			becInfo.CRCTests += res.CRCTests
-			becInfo.HeaderOK = becInfo.HeaderOK || res.HeaderOK
-			becInfo.BlockFailed = becInfo.BlockFailed || res.BlockFailed
-			becInfo.Exhausted = becInfo.Exhausted || res.Exhausted
-			return res.Header, res.Payload, res.Rescued, res.OK
-		}
-		res := lora.DecodeDefault(p, sh)
-		return res.Header, res.Payload, 0, res.OK
-	}
-	var ok bool
-	hdr, payload, rescued, ok = decodeOnce(shifts)
-	if !ok && r.cfg.ListDecode {
-		hdr, payload, rescued, ok = r.listDecode(st, shifts, decodeOnce)
-	}
-	if !ok {
-		if pt := st.Trace; pt != nil {
-			pt.CRCTests = becInfo.CRCTests
-			pt.ListDecodeTried = attempts - 1
-			pt.BECExhausted = becInfo.Exhausted
-			headerOK := becInfo.HeaderOK
-			if !r.cfg.UseBEC {
-				// The default decoder keeps no evidence; re-derive header
-				// validity from the cleaned header block.
-				_, headerOK = lora.HeaderFromCleanBlock(
-					lora.CleanBlock(lora.HeaderBlockFromShifts(p, shifts), 4))
-			}
-			pt.Fail(attributeFailure(pt, headerOK, becInfo.BlockFailed, becInfo.Exhausted))
-		}
-		r.met.onDecodeFailed()
-		return Decoded{}, false
-	}
-
-	// Mark decoded: re-encode to obtain the true on-air shifts for
-	// masking in the second pass.
-	pp := p
-	pp.CR = hdr.CR
-	if trueShifts, _, err := lora.Encode(pp, payload); err == nil {
-		st.Known = true
-		st.KnownShifts = trueShifts
-	}
-
-	dataSyms := pp.PayloadSymbols(hdr.PayloadLen)
-	dec := Decoded{
-		Payload:     payload,
-		Header:      hdr,
-		Start:       pk.Start,
-		CFOCycles:   pk.CFOCycles,
-		SNRdB:       r.estimateSNR(st),
-		Rescued:     rescued,
-		Pass:        pass,
-		DataSymbols: dataSyms,
-		AirtimeSec:  (pp.PreambleSymbols() + float64(dataSyms)) * pp.SymbolDuration(),
-		Trace:       st.Trace,
-	}
-	if pt := st.Trace; pt != nil {
-		pt.OK = true
-		pt.Rescued = rescued
-		pt.CRCTests = becInfo.CRCTests
-		pt.ListDecodeTried = attempts - 1
-		pt.DataSymbols = dec.DataSymbols
-		pt.AirtimeSec = dec.AirtimeSec
-	}
-	r.met.onDecoded(dec)
-	return dec, true
-}
-
-// attributeFailure maps the evidence of a failed decode to the taxonomy.
-// Definite causes come first (wrong sync, no valid header, exhausted CRC
-// budget); the peak-misassignment heuristic — an outsized share of
-// near-coin-flip assignments — is consulted only after them, so forced
-// faults in tests attribute deterministically.
-func attributeFailure(pt *obs.PacketTrace, headerOK, blockFailed, exhausted bool) obs.FailureReason {
-	if pt.SyncScore < 0.5 {
-		return obs.FailNoSync
-	}
-	if !headerOK {
-		return obs.FailHeaderInvalid
-	}
-	if exhausted {
-		return obs.FailBECBudget
-	}
-	if amb, assigned := pt.AmbiguousSymbols(obs.AmbiguityMargin); assigned > 0 && 4*amb >= assigned {
-		return obs.FailPeakMisassign
-	}
-	if blockFailed {
-		return obs.FailBECUnrepairable
-	}
-	return obs.FailCRC
-}
-
-// listDecode retries the packet with the runner-up peak substituted one
-// symbol at a time, most-ambiguous symbols first (smallest height gap
-// between the chosen peak and its alternate).
-func (r *Receiver) listDecode(st *thrive.PacketState, shifts []int,
-	decodeOnce func([]int) (lora.Header, []uint8, int, bool)) (lora.Header, []uint8, int, bool) {
-
-	budget := r.cfg.ListDecodeBudget
-	if budget <= 0 {
-		budget = 24
-	}
-	type cand struct {
-		idx int
-		gap float64
-	}
-	var cands []cand
-	for i, alt := range st.Alternates {
-		if i >= len(shifts) || alt < 0 || alt == shifts[i] {
-			continue
-		}
-		// Ambiguity proxy: how close the alternate's signal level is to
-		// the chosen peak's.
-		chosen := st.Heights[i]
-		altH := st.Calc.ValueAt(i, float64(alt))
-		gap := chosen - altH
-		cands = append(cands, cand{idx: i, gap: gap})
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].gap < cands[b].gap })
-	if len(cands) > budget {
-		cands = cands[:budget]
-	}
-	trial := make([]int, len(shifts))
-	for _, c := range cands {
-		copy(trial, shifts)
-		trial[c.idx] = st.Alternates[c.idx]
-		if hdr, payload, rescued, ok := decodeOnce(trial); ok {
-			return hdr, payload, rescued, true
-		}
-	}
-	return lora.Header{}, nil, 0, false
-}
-
-// estimateSNR derives a per-packet SNR estimate from the preamble peak
-// height against the noise floor read from the median signal-vector bin
-// (exponential noise: median = ln2·mean).
-func (r *Receiver) estimateSNR(st *thrive.PacketState) float64 {
-	p := r.cfg.Params
-	hs := st.Calc.PreamblePeakHeights()
-	if len(hs) == 0 {
-		return math.Inf(-1)
-	}
-	peak := stats.Median(hs)
-	y := st.Calc.SigVec(-(lora.PreambleUpchirps + lora.SyncSymbols))
-	floor := stats.Median(y) / math.Ln2
-	if floor <= 0 {
-		return math.Inf(1)
-	}
-	snr := peak / (floor * float64(p.N()))
-	return 10 * math.Log10(snr)
-}
-
-// secondPass re-runs assignment with decoded packets' peaks masked and the
-// failed packets' histories fitted over their first-pass observations.
-func (r *Receiver) secondPass(antennas [][]complex128, pkts []detect.Packet,
-	states []*thrive.PacketState, decodedIdx map[int]bool, traceLen int,
-	window uint64) []Decoded {
-
-	t0 := r.met.now()
-	inner := prefillWorkers(parallel.Workers(r.cfg.Workers), len(pkts))
-	retry := make([]*thrive.PacketState, len(pkts))
-	calcs := make([]*peaks.Calculator, len(pkts))
-	for i := range pkts {
-		calcs[i] = r.newCalc(antennas, pkts[i], traceLen)
-	}
-	sigSt := parallel.ForEach(r.cfg.Workers, len(pkts), func(_, i int) {
-		st := thrive.NewPacketState(i, calcs[i])
-		if decodedIdx[i] {
-			st.Known = true
-			st.KnownShifts = states[i].KnownShifts
-			// A known packet contributes only its masked peak positions and
-			// preamble history; its data vectors are never read.
-			st.Calc.PrefillPreamble()
-		} else {
-			st.PriorHeights = append([]float64(nil), states[i].Heights...)
-			st.Calc.Prefill(inner)
-		}
-		retry[i] = st
-	})
-	for i := range retry {
-		if !decodedIdx[i] {
-			retry[i].Trace = r.newTrace(window, i, 2, pkts[i], retry[i])
-		}
-	}
-	r.met.observeSigCalc(t0)
-	r.met.onSigCalcParallel(sigSt)
-	t0 = r.met.now()
-	r.engine.Run(retry, traceLen)
-	r.met.observeThrive(t0)
-
-	type outcome struct {
-		dec Decoded
-		ok  bool
-	}
-	var retryIdx []int
-	for i := range retry {
-		if !decodedIdx[i] {
-			retryIdx = append(retryIdx, i)
-		}
-	}
-	results := make([]outcome, len(retryIdx))
-	decSt := parallel.ForEach(r.cfg.Workers, len(retryIdx), func(_, j int) {
-		i := retryIdx[j]
-		dec, ok := r.decodeAssigned(retry[i], pkts[i], 2, i)
-		results[j] = outcome{dec: dec, ok: ok}
-	})
-	r.met.onDecodeParallel(decSt)
-
-	var out []Decoded
-	for j, i := range retryIdx {
-		if results[j].ok {
-			out = append(out, results[j].dec)
-		}
-		if pt := retry[i].Trace; pt != nil {
-			pt.Final = true
-			r.obs.Finish(pt)
-		}
-	}
-	return out
+// DefaultPipelineMetrics returns the shared instruments on metrics.Default —
+// what cmd/tnbgateway serves and cmd/tnbsim dumps.
+func DefaultPipelineMetrics() *PipelineMetrics {
+	return stagegraph.DefaultPipelineMetrics()
 }

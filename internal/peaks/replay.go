@@ -1,0 +1,49 @@
+package peaks
+
+import (
+	"fmt"
+
+	"tnb/internal/lora"
+)
+
+// SymbolRange returns the half-open symbol-index range [lo, hi) addressable
+// by a packet with numData data symbols: the negative preamble/sync indices
+// plus the data symbols.
+func SymbolRange(numData int) (lo, hi int) { return -preambleOffset, numData }
+
+// CachedVec returns the signal vector of symbol idx only if it is already
+// cached, never computing it. Unlike SigVec it is a pure read regardless of
+// prefill state, which is what lets a stage recorder snapshot exactly the
+// vectors a run materialized without perturbing the calculator.
+func (c *Calculator) CachedVec(idx int) ([]float64, bool) {
+	if !c.InRange(idx) {
+		return nil, false
+	}
+	y := c.vecs[idx+preambleOffset]
+	return y, y != nil
+}
+
+// NewReplayCalculator builds a calculator whose signal vectors come from a
+// stage recording instead of rx samples: vecs maps the symbol index
+// (negative indices address the preamble, as everywhere) to the recorded
+// vector. Geometry accessors (SymbolStart, Alpha, InRange) work as usual
+// from the demodulator's parameters; reading a vector that was not recorded
+// panics, since there are no samples to compute it from — a recording that
+// triggers this is missing a boundary the original run materialized.
+func NewReplayCalculator(d *lora.Demodulator, start, cfoCycles float64, numData int, vecs map[int][]float64) *Calculator {
+	c := NewCalculator(d, nil, start, cfoCycles, numData)
+	c.replay = true
+	n := d.Params().N()
+	for idx, y := range vecs {
+		if !c.InRange(idx) {
+			panic(fmt.Sprintf("peaks: replay vector for symbol %d outside packet range [%d,%d)", idx, -preambleOffset, numData))
+		}
+		if len(y) != n {
+			panic(fmt.Sprintf("peaks: replay vector for symbol %d has %d bins, want %d", idx, len(y), n))
+		}
+		slot := c.slot(idx)
+		copy(slot, y)
+		c.vecs[idx+preambleOffset] = slot
+	}
+	return c
+}

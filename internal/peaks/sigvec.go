@@ -2,6 +2,7 @@ package peaks
 
 import (
 	"math"
+	"strconv"
 
 	"tnb/internal/lora"
 	"tnb/internal/parallel"
@@ -39,6 +40,11 @@ type Calculator struct {
 	// dechirped rows stacked for one ForwardMagBatch twiddle sweep.
 	batchBuf []complex128
 	batchY   []float64
+
+	// replay marks a calculator built from recorded vectors with no
+	// samples behind it (NewReplayCalculator): reading an unrecorded
+	// vector then panics instead of silently computing zeros.
+	replay bool
 }
 
 // preambleOffset is the number of negative (preamble + sync) symbol indices
@@ -168,6 +174,9 @@ func (c *Calculator) slot(idx int) []float64 {
 func (c *Calculator) SigVec(idx int) []float64 {
 	if y := c.vecs[idx+preambleOffset]; y != nil {
 		return y
+	}
+	if c.replay {
+		panic("peaks: symbol " + strconv.Itoa(idx) + " was not recorded; replay calculators cannot compute vectors")
 	}
 	y := c.slot(idx)
 	c.computeInto(y, c.buf, c.scratch, idx)

@@ -1,0 +1,80 @@
+package stagegraph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// tinyRecordingBytes hand-frames a minimal valid recording: header, a
+// four-sample window, pass 1, and an empty detect boundary. Small enough to
+// mutate quickly, structured enough that mutations reach every parse path.
+func tinyRecordingBytes() []byte {
+	buf := []byte(recMagic)
+	hdr, err := json.Marshal(RecHeader{Version: recVersion, SF: 7, CR: 4, Bandwidth: 125e3, OSF: 2})
+	if err != nil {
+		panic(err)
+	}
+	buf = appendRecord(buf, recNameHeader, hdr)
+	var samples payloadEnc
+	samples.uv(1)
+	samples.c128s([]complex128{1, 2i, 3, 4i})
+	buf = appendRecord(buf, recNameSamples, samples.b)
+	var pass payloadEnc
+	pass.uv(1)
+	buf = appendRecord(buf, recNamePass, pass.b)
+	var det payloadEnc
+	det.uv(0)
+	buf = appendRecord(buf, StageDetect, det.b)
+	return buf
+}
+
+// FuzzStageRecordDecode pins the recording codec's decode contract:
+// arbitrary input — truncated, bit-flipped, torn, or wholly synthetic —
+// must either parse cleanly or return an error. It must never panic, hang,
+// or allocate unboundedly (slice lengths are validated against the
+// remaining payload before any make).
+func FuzzStageRecordDecode(f *testing.F) {
+	tiny := tinyRecordingBytes()
+	f.Add(tiny)
+	f.Add(tiny[:len(tiny)-3])     // torn tail
+	f.Add(tiny[:len(recMagic)+1]) // truncated header frame
+	f.Add([]byte(recMagic))
+	f.Add([]byte{})
+	flipped := append([]byte(nil), tiny...)
+	flipped[len(recMagic)+10] ^= 0x40
+	f.Add(flipped)
+
+	tr, _ := collisionTrace(f, 4242)
+	_, real := recordDecode(f, tr, Config{Params: collisionParams(), UseBEC: true, Workers: 1, MaxPayloadLen: 12})
+	// The full recording is sample-heavy; seed the frame stream up to and
+	// including the first boundary records so mutations explore the
+	// boundary decoders without dragging a 600 KB corpus entry around.
+	if len(real) > 1<<15 {
+		f.Add(real[:1<<15])
+	} else {
+		f.Add(real)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ParseRecording(data)
+		if err != nil {
+			return
+		}
+		// Parsed recordings must also survive the pure accessors.
+		for _, rw := range rec.Windows {
+			for _, rp := range rw.Passes {
+				rp.Stages()
+				if _, ok := rp.Boundaries[StageDetect]; ok {
+					if _, err := rp.Detections(); err != nil {
+						t.Fatalf("boundary validated at parse time but Detections failed: %v", err)
+					}
+				}
+				if _, ok := rp.Boundaries[StageBEC]; ok {
+					if _, err := rp.Outcomes(); err != nil {
+						t.Fatalf("boundary validated at parse time but Outcomes failed: %v", err)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package stagegraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tnb/internal/lora"
+	"tnb/internal/trace"
+)
+
+type txSpec struct {
+	start, snr, cfo float64
+	payload         []uint8
+}
+
+func makeTrace(t testing.TB, seed int64, p lora.Params, dur float64, specs []txSpec) (*trace.Trace, []trace.TxRecord) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder(p, dur, 1, rng)
+	for i, s := range specs {
+		if err := b.AddPacket(i, i, s.payload, s.start, s.snr, s.cfo, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func payloadOf(i int) []uint8 {
+	p := make([]uint8, 14)
+	for j := range p {
+		p[j] = uint8(i*31 + j)
+	}
+	return p
+}
+
+func countDecoded(decoded []Decoded, recs []trace.TxRecord) int {
+	n := 0
+	for _, rec := range recs {
+		for _, d := range decoded {
+			if bytes.Equal(d.Payload, rec.Payload) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// collisionConfig is the seeded 2-packet collision the recording tests
+// share: short SF8/OSF2 trace, both packets decodable, with enough overlap
+// to exercise the sibling cost and (via a forced pass-1 failure elsewhere)
+// the masked second pass.
+func collisionParams() lora.Params { return lora.MustParams(8, 4, 125e3, 2) }
+
+func collisionTrace(t testing.TB, seed int64) (*trace.Trace, []trace.TxRecord) {
+	t.Helper()
+	p := collisionParams()
+	sym := float64(p.SymbolSamples())
+	return makeTrace(t, seed, p, 0.125, []txSpec{
+		{start: 1300.4, snr: 12, cfo: 2100, payload: payloadOf(1)[:8]},
+		{start: 1300.4 + 11.5*sym, snr: 7, cfo: -3300, payload: payloadOf(2)[:8]},
+	})
+}
+
+// recordDecode runs one recorded decode and returns the decoded packets and
+// the recording bytes.
+func recordDecode(t testing.TB, tr *trace.Trace, cfg Config) ([]Decoded, []byte) {
+	t.Helper()
+	rec := NewRecorder()
+	cfg.Recorder = rec
+	p := New(cfg)
+	decoded := p.Decode(tr)
+	return decoded, rec.Bytes()
+}

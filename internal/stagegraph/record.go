@@ -1,0 +1,297 @@
+package stagegraph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Stage boundary names. They double as record names in recordings and as
+// the -stage argument of cmd/tnbreplay.
+const (
+	StageDetect  = "detect"
+	StageSigCalc = "sigcalc"
+	StageThrive  = "thrive"
+	StageBEC     = "bec"
+)
+
+// The recording container is a sequence of framed, CRC-protected records:
+//
+//	file   := magic record*
+//	magic  := "TNBSGR1\n"
+//	record := nameLen:uvarint name payloadLen:uvarint payload crc32:4B-LE
+//
+// The CRC (IEEE) covers name and payload. Records are self-describing: a
+// reader skips names it does not know, so the format can grow new boundary
+// records without a version bump; incompatible changes bump the version in
+// the "header" record (a reader rejects versions above its own). Any
+// truncation, bit flip, or torn tail fails decoding with an error — never a
+// panic — which FuzzStageRecordDecode pins.
+const recMagic = "TNBSGR1\n"
+
+// recVersion is the recording format version written into, and required
+// from, the "header" record.
+const recVersion = 1
+
+const (
+	maxRecordName = 64
+	// maxRecordPayload is a hard sanity bound; real payloads are the raw
+	// sample block (16 B/sample) and the signal-vector arenas.
+	maxRecordPayload = 1 << 30
+)
+
+// ErrBadMagic marks a file that is not a stage recording.
+var ErrBadMagic = errors.New("stagegraph: not a stage recording (bad magic)")
+
+var crcTable = crc32.IEEETable
+
+// appendRecord frames one record onto dst.
+func appendRecord(dst []byte, name string, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.Update(crc32.Checksum([]byte(name), crcTable), crcTable, payload)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// recordReader iterates the framed records of a recording held in memory.
+type recordReader struct {
+	b   []byte
+	off int
+}
+
+func newRecordReader(data []byte) (*recordReader, error) {
+	if len(data) < len(recMagic) || string(data[:len(recMagic)]) != recMagic {
+		return nil, ErrBadMagic
+	}
+	return &recordReader{b: data, off: len(recMagic)}, nil
+}
+
+// next returns the next record, io.EOF at a clean end, or a descriptive
+// error for a truncated or corrupted frame.
+func (r *recordReader) next() (name string, payload []byte, err error) {
+	if r.off == len(r.b) {
+		return "", nil, io.EOF
+	}
+	rest := r.b[r.off:]
+	nameLen, n := binary.Uvarint(rest)
+	if n <= 0 || nameLen > maxRecordName {
+		return "", nil, fmt.Errorf("stagegraph: record at offset %d: bad name length", r.off)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < nameLen {
+		return "", nil, fmt.Errorf("stagegraph: record at offset %d: truncated name", r.off)
+	}
+	nm := string(rest[:nameLen])
+	rest = rest[nameLen:]
+	payLen, n := binary.Uvarint(rest)
+	if n <= 0 || payLen > maxRecordPayload {
+		return "", nil, fmt.Errorf("stagegraph: record %q: bad payload length", nm)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < payLen+4 {
+		return "", nil, fmt.Errorf("stagegraph: record %q: truncated payload (torn tail?)", nm)
+	}
+	pay := rest[:payLen]
+	want := binary.LittleEndian.Uint32(rest[payLen : payLen+4])
+	got := crc32.Update(crc32.Checksum([]byte(nm), crcTable), crcTable, pay)
+	if got != want {
+		return "", nil, fmt.Errorf("stagegraph: record %q: CRC mismatch (corrupted)", nm)
+	}
+	r.off = len(r.b) - len(rest) + int(payLen) + 4
+	return nm, pay, nil
+}
+
+// payloadEnc builds a boundary payload. All integers are varints, floats
+// are raw IEEE-754 bits little-endian: the encoding is exact, so a replayed
+// stage that byte-matches its recorded payload is bit-identical.
+type payloadEnc struct{ b []byte }
+
+func (e *payloadEnc) uv(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *payloadEnc) iv(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+func (e *payloadEnc) bool(v bool) { e.b = append(e.b, b2u8(v)) }
+func (e *payloadEnc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+func (e *payloadEnc) bytes(v []byte) {
+	e.uv(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+func (e *payloadEnc) f64s(v []float64) {
+	e.uv(uint64(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func (e *payloadEnc) ints(v []int) {
+	e.uv(uint64(len(v)))
+	for _, x := range v {
+		e.iv(int64(x))
+	}
+}
+
+func (e *payloadEnc) c128s(v []complex128) {
+	e.uv(uint64(len(v)))
+	for _, x := range v {
+		e.f64(real(x))
+		e.f64(imag(x))
+	}
+}
+
+func b2u8(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// payloadDec decodes a boundary payload. The first failure sticks: every
+// accessor after it returns a zero value, and the caller checks err once.
+// Allocation sizes are validated against the remaining input before any
+// make, so hostile length prefixes cannot balloon memory.
+type payloadDec struct {
+	b   []byte
+	err error
+}
+
+func (d *payloadDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("stagegraph: payload: "+format, args...)
+	}
+}
+
+func (d *payloadDec) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *payloadDec) iv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *payloadDec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		d.fail("bad bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+func (d *payloadDec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+// sliceLen validates a length prefix against the remaining bytes at
+// elemSize bytes minimum per element.
+func (d *payloadDec) sliceLen(elemSize int) int {
+	n := d.uv()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)/elemSize) {
+		d.fail("slice length %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *payloadDec) bytes() []byte {
+	n := d.sliceLen(1)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *payloadDec) f64s() []float64 {
+	n := d.sliceLen(8)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}
+
+func (d *payloadDec) ints() []int {
+	n := d.sliceLen(1)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = int(d.iv())
+	}
+	return v
+}
+
+func (d *payloadDec) c128s() []complex128 {
+	n := d.sliceLen(16)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]complex128, n)
+	for i := range v {
+		re := d.f64()
+		im := d.f64()
+		v[i] = complex(re, im)
+	}
+	return v
+}
+
+func (d *payloadDec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("stagegraph: payload: %d trailing bytes", len(d.b))
+	}
+	return nil
+}

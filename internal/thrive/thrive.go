@@ -83,6 +83,21 @@ type PacketState struct {
 	historySeed []float64 // preamble peak heights (bootstrap)
 }
 
+// Assignment is one packet's output of the peak-assignment stage: the
+// chosen peak bin, its height, and the runner-up bin per data symbol. It is
+// the typed boundary the stage graph records and diffs; the slices alias
+// the PacketState's, so it is a view, not a copy.
+type Assignment struct {
+	Assigned   []int
+	Heights    []float64
+	Alternates []int
+}
+
+// Assignment returns the packet's peak-assignment boundary view.
+func (ps *PacketState) Assignment() Assignment {
+	return Assignment{Assigned: ps.Assigned, Heights: ps.Heights, Alternates: ps.Alternates}
+}
+
 // NewPacketState wraps a calculator for assignment.
 func NewPacketState(id int, calc *peaks.Calculator) *PacketState {
 	n := calc.NumData()

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# coverage_gate.sh — per-package coverage floor.
+#
+# Runs `go test -short -cover` over the module and compares each package's
+# statement coverage against the committed baseline
+# (scripts/coverage_baseline.txt). A package may drop at most SLACK points
+# below its floor before the gate fails; packages new since the baseline
+# pass with a notice. When GITHUB_STEP_SUMMARY is set the per-package table
+# is published as the job summary.
+#
+# Usage:
+#   scripts/coverage_gate.sh           # check against the baseline
+#   scripts/coverage_gate.sh update    # rewrite the baseline from this run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/coverage_baseline.txt
+SLACK=2.0
+MODE="${1:-check}"
+
+# One line per tested package: "<import path> <coverage pct>".
+CURRENT=$(go test -short -count=1 -cover ./... \
+  | awk '$1 == "ok" { for (i = 1; i <= NF; i++) if ($i == "coverage:") { pct = $(i+1); sub(/%/, "", pct); print $2, pct } }' \
+  | sort)
+
+if [ -z "$CURRENT" ]; then
+  echo "coverage_gate: no coverage output (did the test run fail?)" >&2
+  exit 1
+fi
+
+if [ "$MODE" = "update" ]; then
+  printf '%s\n' "$CURRENT" > "$BASELINE"
+  echo "coverage_gate: wrote $(printf '%s\n' "$CURRENT" | wc -l) package floors to $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "coverage_gate: $BASELINE missing; run 'scripts/coverage_gate.sh update'" >&2
+  exit 1
+fi
+
+TABLE="| package | floor | current | verdict |
+|---|---:|---:|---|"
+FAIL=0
+
+# Gate every baselined package.
+while read -r pkg floor; do
+  cur=$(printf '%s\n' "$CURRENT" | awk -v p="$pkg" '$1 == p { print $2 }')
+  if [ -z "$cur" ]; then
+    TABLE="$TABLE
+| $pkg | ${floor}% | (gone) | FAIL: package lost its tests |"
+    FAIL=1
+    continue
+  fi
+  verdict=$(awk -v c="$cur" -v f="$floor" -v s="$SLACK" \
+    'BEGIN { if (c + s < f) print "FAIL: regressed >" s " pts"; else if (c < f) print "ok (within slack)"; else print "ok" }')
+  case "$verdict" in FAIL*) FAIL=1 ;; esac
+  TABLE="$TABLE
+| $pkg | ${floor}% | ${cur}% | $verdict |"
+done < "$BASELINE"
+
+# Note packages that appeared since the baseline.
+while read -r pkg cur; do
+  if ! awk -v p="$pkg" '$1 == p { found = 1 } END { exit !found }' "$BASELINE"; then
+    TABLE="$TABLE
+| $pkg | (new) | ${cur}% | ok — add to baseline |"
+  fi
+done <<< "$CURRENT"
+
+printf '%s\n' "$TABLE"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "## Coverage gate"
+    echo
+    printf '%s\n' "$TABLE"
+  } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "coverage_gate: FAIL — coverage regressed more than ${SLACK} points below the floor" >&2
+  echo "coverage_gate: if intentional, refresh with 'scripts/coverage_gate.sh update'" >&2
+  exit 1
+fi
+echo "coverage_gate: ok"
